@@ -1,0 +1,25 @@
+"""Shared helpers for the per-table / per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (DESIGN.md has
+the full index), prints the rows the paper reports, and records the wall-clock
+cost of regenerating it via pytest-benchmark.  Heavy experiments run with
+``rounds=1`` so the whole harness stays fast.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.formatting import format_table
+
+
+def run_and_print(benchmark, experiment_fn, title, **kwargs):
+    """Benchmark ``experiment_fn`` once and print its table."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    if isinstance(result, dict):
+        rows = result.get("sweep", [result])
+    else:
+        rows = result
+    print()
+    print(format_table(list(rows), title=title))
+    return result

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 2.1: application IPC on an aggressive OoO core.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter2 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig2_1_ipc(benchmark):
+    """Figure 2.1: application IPC on an aggressive OoO core."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_2_1_application_ipc,
+        "Figure 2.1: application IPC on an aggressive OoO core",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert all(0.4 < r['application_ipc'] < 2.5 for r in rows)

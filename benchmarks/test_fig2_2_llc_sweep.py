@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 2.2: performance of 4-core systems vs LLC size (normalized to 1MB).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter2 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig2_2_llc_sweep(benchmark):
+    """Figure 2.2: performance of 4-core systems vs LLC size (normalized to 1MB)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_2_2_llc_sensitivity,
+        "Figure 2.2: performance of 4-core systems vs LLC size (normalized to 1MB)",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert all(r['8MB'] >= r['1MB'] * 0.98 for r in rows)

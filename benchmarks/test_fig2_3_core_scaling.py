@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 2.3: per-core / aggregate performance vs core count (ideal vs mesh).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter2 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig2_3_core_scaling(benchmark):
+    """Figure 2.3: per-core / aggregate performance vs core count (ideal vs mesh)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_2_3_core_scaling,
+        "Figure 2.3: per-core / aggregate performance vs core count (ideal vs mesh)",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert rows[-1]['mesh_per_core'] < rows[-1]['ideal_per_core']

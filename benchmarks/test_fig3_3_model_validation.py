@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3.3: analytic model vs cycle-level simulation.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter3 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig3_3_model_validation(benchmark):
+    """Figure 3.3: analytic model vs cycle-level simulation."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_3_3_model_validation,
+        "Figure 3.3: analytic model vs cycle-level simulation",
+        **{'core_counts': (1, 2, 4, 8), 'instructions_per_core': 3000},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert rows[-1]['workload'] == 'MEAN' and rows[-1]['relative_error'] < 0.6

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3.4: performance density sweep (OoO pods).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter3 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig3_4_pd_ooo(benchmark):
+    """Figure 3.4: performance density sweep (OoO pods)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_3_4_pd_sweep_ooo,
+        "Figure 3.4: performance density sweep (OoO pods)",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert max(r['performance_density'] for r in rows) > 0.1

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3.5: crossbar pod sweep and selected pod.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter3 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig3_5_pod_selection(benchmark):
+    """Figure 3.5: crossbar pod sweep and selected pod."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_3_5_pod_selection,
+        "Figure 3.5: crossbar pod sweep and selected pod",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert result['selected_cores'] in (8, 16, 32, 64)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3.6: performance density sweep (in-order pods).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter3 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig3_6_pd_inorder(benchmark):
+    """Figure 3.6: performance density sweep (in-order pods)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_3_6_pd_sweep_inorder,
+        "Figure 3.6: performance density sweep (in-order pods)",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert max(r['performance_density'] for r in rows) > 0.15

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4.3: percentage of LLC accesses triggering a snoop.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter4 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig4_3_snoop_fraction(benchmark):
+    """Figure 4.3: percentage of LLC accesses triggering a snoop."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_4_3_snoop_fraction,
+        "Figure 4.3: percentage of LLC accesses triggering a snoop",
+        **{'cores': 16, 'instructions_per_core': 4000},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert 0.0 <= rows[-1]['snoop_fraction_percent'] < 10.0

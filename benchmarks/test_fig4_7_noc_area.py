@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4.7: NoC area breakdown.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter4 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig4_7_noc_area(benchmark):
+    """Figure 4.7: NoC area breakdown."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_4_7_noc_area,
+        "Figure 4.7: NoC area breakdown",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    by = {r['topology']: r['total_mm2'] for r in rows}; assert by['nocout'] < by['mesh'] < by['fbfly']

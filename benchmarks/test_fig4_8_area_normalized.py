@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4.8: performance under a fixed NoC area budget.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter4 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig4_8_area_normalized(benchmark):
+    """Figure 4.8: performance under a fixed NoC area budget."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_4_8_area_normalized,
+        "Figure 4.8: performance under a fixed NoC area budget",
+        **{'duration_cycles': 3000},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    nocout = next(r for r in rows if r['topology'] == 'nocout'); assert nocout['geomean'] > 1.0

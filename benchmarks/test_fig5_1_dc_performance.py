@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5.1: datacenter performance normalized to the conventional design.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter5 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig5_1_dc_performance(benchmark):
+    """Figure 5.1: datacenter performance normalized to the conventional design."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figures_5_1_5_2_performance_and_tco,
+        "Figure 5.1: datacenter performance normalized to the conventional design",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    so = next(r for r in rows if r['design'] == 'Scale-Out (In-order)'); assert so['normalized_performance'] > 2.0

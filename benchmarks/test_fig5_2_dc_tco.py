@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5.2: datacenter TCO normalized to the conventional design.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter5 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig5_2_dc_tco(benchmark):
+    """Figure 5.2: datacenter TCO normalized to the conventional design."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figures_5_1_5_2_performance_and_tco,
+        "Figure 5.2: datacenter TCO normalized to the conventional design",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert all(0.5 < r['normalized_tco'] < 1.5 for r in rows)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5.4: datacenter performance/Watt vs memory per server.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter5 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig5_4_perf_per_watt(benchmark):
+    """Figure 5.4: datacenter performance/Watt vs memory per server."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figures_5_3_5_4_efficiency,
+        "Figure 5.4: datacenter performance/Watt vs memory per server",
+        **{'memory_capacities_gb': (64,)},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert all(r['performance_per_watt'] > 0 for r in rows)

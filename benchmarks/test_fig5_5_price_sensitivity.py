@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5.5: performance/TCO sensitivity to processor price.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter5 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig5_5_price_sensitivity(benchmark):
+    """Figure 5.5: performance/TCO sensitivity to processor price."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_5_5_price_sensitivity,
+        "Figure 5.5: performance/TCO sensitivity to processor price",
+        **{'volumes': (40000, 200000, 1000000)},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert all(r['price_usd'] > 0 for r in rows)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6.4: 3D performance density sweep (OoO cores).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter6 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig6_4_pd3d_ooo(benchmark):
+    """Figure 6.4: 3D performance density sweep (OoO cores)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_6_4_pd3d_ooo,
+        "Figure 6.4: 3D performance density sweep (OoO cores)",
+        **{'die_counts': (1, 2, 4)},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert max(r['performance_density'] for r in rows) > 0.1

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6.5: fixed-pod vs fixed-distance (OoO cores).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter6 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig6_5_strategies_ooo(benchmark):
+    """Figure 6.5: fixed-pod vs fixed-distance (OoO cores)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_6_5_strategies_ooo,
+        "Figure 6.5: fixed-pod vs fixed-distance (OoO cores)",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert any(r['strategy'] == 'fixed-distance' for r in rows)

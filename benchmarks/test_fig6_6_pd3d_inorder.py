@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6.6: 3D performance density sweep (in-order cores).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter6 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig6_6_pd3d_inorder(benchmark):
+    """Figure 6.6: 3D performance density sweep (in-order cores)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_6_6_pd3d_inorder,
+        "Figure 6.6: 3D performance density sweep (in-order cores)",
+        **{'die_counts': (1, 2)},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert max(r['performance_density'] for r in rows) > 0.15

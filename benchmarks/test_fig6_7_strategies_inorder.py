@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6.7: fixed-pod vs fixed-distance (in-order cores).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter6 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_fig6_7_strategies_inorder(benchmark):
+    """Figure 6.7: fixed-pod vs fixed-distance (in-order cores)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.figure_6_7_strategies_inorder,
+        "Figure 6.7: fixed-pod vs fixed-distance (in-order cores)",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert any(r['strategy'] == 'fixed-pod' for r in rows)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 2.1: component area and power at 40nm.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter2 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_table2_1_components(benchmark):
+    """Table 2.1: component area and power at 40nm."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.table_2_1_components,
+        "Table 2.1: component area and power at 40nm",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert len(rows) >= 6

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 3.2: full design comparison including Scale-Out Processors (40nm).
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter3 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_table3_2_scaleout(benchmark):
+    """Table 3.2: full design comparison including Scale-Out Processors (40nm)."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.table_3_2_design_comparison,
+        "Table 3.2: full design comparison including Scale-Out Processors (40nm)",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert any('Scale-Out' in r['design'] for r in rows)

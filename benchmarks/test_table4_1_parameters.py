@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 4.1: NOC-Out evaluation parameters.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter4 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_table4_1_parameters(benchmark):
+    """Table 4.1: NOC-Out evaluation parameters."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.table_4_1_parameters,
+        "Table 4.1: NOC-Out evaluation parameters",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert any(r['parameter'] == 'cores' for r in rows)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 5.2: TCO parameters.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter5 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_table5_2_tco_params(benchmark):
+    """Table 5.2: TCO parameters."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.table_5_2_parameters,
+        "Table 5.2: TCO parameters",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert len(rows) >= 8

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 6.1: component area and power for the 3D study.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter6 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_table6_1_components_3d(benchmark):
+    """Table 6.1: component area and power for the 3D study."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.table_6_1_components,
+        "Table 6.1: component area and power for the 3D study",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert len(rows) >= 4

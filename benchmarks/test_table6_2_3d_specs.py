@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 6.2: 2D vs 3D Scale-Out Processor specifications.
+
+See DESIGN.md (per-experiment index) for the workload, parameters, and modules
+behind this experiment, and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import chapter6 as experiment_module
+
+from _harness import run_and_print
+
+
+def test_table6_2_3d_specs(benchmark):
+    """Table 6.2: 2D vs 3D Scale-Out Processor specifications."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.table_6_2_specifications,
+        "Table 6.2: 2D vs 3D Scale-Out Processor specifications",
+        **{},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    assert all(r['performance_density'] > 0 for r in rows)

@@ -1,0 +1,13 @@
+"""Ensure the src/ layout is importable even without an installed package.
+
+Offline environments without the `wheel` package cannot complete a PEP 660
+editable install; adding src/ to sys.path keeps the test and benchmark suites
+runnable regardless of how (or whether) the package was installed.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,63 @@
+"""Datacenter efficiency study (the Chapter 5 scenario).
+
+Evaluates a 20 MW datacenter built from different server chips -- conventional,
+tiled, single-pod, and multi-pod Scale-Out Processors -- and reports datacenter
+performance, monthly TCO, performance/TCO, and performance/Watt for a Web-scale
+online-service deployment with 64 GB of memory per 1U server.
+
+Run with ``python examples/datacenter_tco_study.py``.
+"""
+
+from repro.core.designs import (
+    build_conventional,
+    build_scale_out,
+    build_single_pod,
+    build_tiled,
+)
+from repro.experiments.formatting import format_table
+from repro.tco.datacenter import DatacenterDesign
+from repro.technology.node import NODE_40NM
+
+
+def main() -> None:
+    chips = [
+        build_conventional(NODE_40NM),
+        build_tiled("ooo", NODE_40NM),
+        build_single_pod("ooo", NODE_40NM),
+        build_scale_out("ooo", NODE_40NM),
+        build_tiled("inorder", NODE_40NM),
+        build_single_pod("inorder", NODE_40NM),
+        build_scale_out("inorder", NODE_40NM),
+    ]
+    datacenter = DatacenterDesign()
+
+    rows = []
+    for memory_gb in (32, 64, 128):
+        for chip in chips:
+            result = datacenter.evaluate(chip, memory_gb=memory_gb)
+            rows.append(
+                {
+                    "design": chip.name,
+                    "memory_gb": memory_gb,
+                    "sockets/1U": result.sockets_per_server,
+                    "servers": result.servers,
+                    "perf (norm)": round(result.performance, 0),
+                    "TCO $/month": round(result.monthly_tco, 0),
+                    "perf/TCO": round(result.performance_per_tco, 2),
+                    "perf/W": round(result.performance_per_watt, 4),
+                }
+            )
+    print(format_table(rows, title="Datacenter efficiency for different server chips"))
+
+    baseline = datacenter.evaluate(chips[0], memory_gb=64)
+    best = datacenter.evaluate(chips[-1], memory_gb=64)
+    print()
+    print(
+        "Scale-Out (in-order) vs Conventional at 64 GB/server: "
+        f"{best.performance / baseline.performance:.1f}x performance, "
+        f"{best.performance_per_tco / baseline.performance_per_tco:.1f}x performance/TCO"
+    )
+
+
+if __name__ == "__main__":
+    main()

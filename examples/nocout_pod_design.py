@@ -1,0 +1,60 @@
+"""Designing the interconnect of a many-core pod (the Chapter 4 scenario).
+
+Compares a mesh, a flattened butterfly, and NOC-Out for a 64-core pod running a
+Web Search / Data Serving mix: average network latency, full-system performance,
+and NoC area, including the area-normalized comparison.
+
+Run with ``python examples/nocout_pod_design.py``.
+"""
+
+import statistics
+
+from repro.experiments.formatting import format_table
+from repro.noc.simulation import PodNocStudy
+
+
+def main() -> None:
+    study = PodNocStudy(duration_cycles=4000)
+
+    print("NoC area breakdown (64-core pod, 128-bit links, 32nm):")
+    area_rows = []
+    for name, breakdown in study.area_breakdowns().items():
+        row = {"topology": name}
+        row.update({k: round(v, 2) for k, v in breakdown.as_dict().items()})
+        area_rows.append(row)
+    print(format_table(area_rows))
+    print()
+
+    results = study.evaluate()
+    normalized = study.normalized_performance(results)
+    perf_rows = []
+    for topology, per_workload in normalized.items():
+        perf_rows.append(
+            {
+                "topology": topology,
+                "geomean vs mesh": round(
+                    statistics.geometric_mean(list(per_workload.values())), 3
+                ),
+            }
+        )
+    print(format_table(perf_rows, title="System performance normalized to the mesh"))
+    print()
+
+    widths = study.area_normalized_widths()
+    fixed = study.normalized_performance(study.evaluate(link_width_bits_by_topology=widths))
+    fixed_rows = []
+    for topology, per_workload in fixed.items():
+        fixed_rows.append(
+            {
+                "topology": topology,
+                "link width (bits)": widths[topology],
+                "geomean vs mesh": round(
+                    statistics.geometric_mean(list(per_workload.values())), 3
+                ),
+            }
+        )
+    print(format_table(fixed_rows, title="Performance under a fixed NoC area budget"))
+
+
+if __name__ == "__main__":
+    main()

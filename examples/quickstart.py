@@ -1,0 +1,39 @@
+"""Quickstart: design a Scale-Out Processor and compare it to the baselines.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import design_scale_out_processor
+from repro.core.comparison import compare_designs
+from repro.core.designs import build_conventional, build_tiled
+from repro.experiments.formatting import format_table
+from repro.technology.node import NODE_40NM
+
+
+def main() -> None:
+    # Step 1: run the scale-out design methodology for out-of-order cores.
+    chip = design_scale_out_processor(core_type="ooo", node=NODE_40NM)
+    print("Scale-Out Processor produced by the methodology:")
+    for key, value in chip.summary().items():
+        print(f"  {key:22s} {value}")
+    print()
+    print(f"Pod organization: {chip.pod.describe()}")
+    print()
+
+    # Step 2: compare it against a conventional and a tiled server processor.
+    designs = [build_conventional(NODE_40NM), build_tiled("ooo", NODE_40NM), chip]
+    comparison = compare_designs(designs)
+    print(format_table(comparison.as_dicts(), title="Design comparison at 40nm"))
+    print()
+    print(
+        "Performance density vs conventional: "
+        f"{comparison.pd_ratio(chip.name, 'Conventional'):.1f}x"
+    )
+    print(
+        "Performance density vs tiled:        "
+        f"{comparison.pd_ratio(chip.name, 'Tiled (OoO)'):.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml (PEP 621).
+
+The shim exists so that editable installs work in offline environments whose
+setuptools lacks the `wheel` package required by PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""First-level cache configurations (Table 2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """Configuration of a private L1 cache pair.
+
+    Attributes:
+        icache_kb: L1-I capacity (KB).
+        dcache_kb: L1-D capacity (KB).
+        i_associativity: L1-I associativity.
+        d_associativity: L1-D associativity.
+        latency_cycles: load-to-use latency.
+        ports: number of access ports.
+        mshrs: outstanding-miss registers.
+        line_bytes: cache line size.
+    """
+
+    icache_kb: int
+    dcache_kb: int
+    i_associativity: int
+    d_associativity: int
+    latency_cycles: int
+    ports: int
+    mshrs: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.icache_kb <= 0 or self.dcache_kb <= 0:
+            raise ValueError("L1 capacities must be positive")
+        if self.latency_cycles < 1:
+            raise ValueError("latency_cycles must be >= 1")
+
+    def icache_sets(self) -> int:
+        """Number of sets in the L1-I."""
+        lines = self.icache_kb * 1024 // self.line_bytes
+        return max(1, lines // self.i_associativity)
+
+    def dcache_sets(self) -> int:
+        """Number of sets in the L1-D."""
+        lines = self.dcache_kb * 1024 // self.line_bytes
+        return max(1, lines // self.d_associativity)
+
+
+#: 32 KB / 2-way / 2-cycle L1s used by the OoO and in-order cores (Table 2.2).
+DEFAULT_L1 = L1Config(
+    icache_kb=32,
+    dcache_kb=32,
+    i_associativity=2,
+    d_associativity=2,
+    latency_cycles=2,
+    ports=1,
+    mshrs=32,
+)
+
+#: 64 KB, 4(8)-way, 3-cycle L1s of the conventional core (Table 2.2).
+CONVENTIONAL_L1 = L1Config(
+    icache_kb=64,
+    dcache_kb=64,
+    i_associativity=4,
+    d_associativity=8,
+    latency_cycles=3,
+    ports=2,
+    mshrs=32,
+)

@@ -1,0 +1,12 @@
+"""Core microarchitecture models (conventional, out-of-order, in-order)."""
+
+from repro.cores.models import (
+    CoreModel,
+    CONVENTIONAL,
+    OOO,
+    INORDER,
+    core_model,
+    CORE_TYPES,
+)
+
+__all__ = ["CoreModel", "CONVENTIONAL", "OOO", "INORDER", "core_model", "CORE_TYPES"]

@@ -1,0 +1,21 @@
+"""Experiment harness: one module per evaluation chapter.
+
+Each function regenerates the data behind one of the paper's tables or figures
+and returns plain dictionaries/lists that the benchmark harness prints.  The
+mapping from experiment id to function is in :mod:`repro.experiments.registry`.
+"""
+
+from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6
+from repro.experiments.formatting import format_table
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "chapter2",
+    "chapter3",
+    "chapter4",
+    "chapter5",
+    "chapter6",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+]

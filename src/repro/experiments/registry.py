@@ -1,0 +1,51 @@
+"""Registry mapping experiment ids (table/figure numbers) to their functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6
+
+#: Experiment id -> callable returning the table/figure data.
+EXPERIMENTS: "dict[str, Callable[..., object]]" = {
+    "figure_2_1": chapter2.figure_2_1_application_ipc,
+    "figure_2_2": chapter2.figure_2_2_llc_sensitivity,
+    "figure_2_3": chapter2.figure_2_3_core_scaling,
+    "table_2_1": chapter2.table_2_1_components,
+    "table_2_3": chapter2.table_2_3_designs_40nm,
+    "table_2_4": chapter2.table_2_4_designs_20nm,
+    "figure_3_3": chapter3.figure_3_3_model_validation,
+    "figure_3_4": chapter3.figure_3_4_pd_sweep_ooo,
+    "figure_3_5": chapter3.figure_3_5_pod_selection,
+    "figure_3_6": chapter3.figure_3_6_pd_sweep_inorder,
+    "table_3_2": chapter3.table_3_2_design_comparison,
+    "figure_4_3": chapter4.figure_4_3_snoop_fraction,
+    "figure_4_6": chapter4.figure_4_6_noc_performance,
+    "figure_4_7": chapter4.figure_4_7_noc_area,
+    "figure_4_8": chapter4.figure_4_8_area_normalized,
+    "table_4_1": chapter4.table_4_1_parameters,
+    "table_5_1": chapter5.table_5_1_chip_characteristics,
+    "table_5_2": chapter5.table_5_2_parameters,
+    "figure_5_1": chapter5.figures_5_1_5_2_performance_and_tco,
+    "figure_5_2": chapter5.figures_5_1_5_2_performance_and_tco,
+    "figure_5_3": chapter5.figures_5_3_5_4_efficiency,
+    "figure_5_4": chapter5.figures_5_3_5_4_efficiency,
+    "figure_5_5": chapter5.figure_5_5_price_sensitivity,
+    "table_6_1": chapter6.table_6_1_components,
+    "table_6_2": chapter6.table_6_2_specifications,
+    "figure_6_4": chapter6.figure_6_4_pd3d_ooo,
+    "figure_6_5": chapter6.figure_6_5_strategies_ooo,
+    "figure_6_6": chapter6.figure_6_6_pd3d_inorder,
+    "figure_6_7": chapter6.figure_6_7_strategies_inorder,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id (e.g. ``"table_3_2"``) and return its data."""
+    try:
+        function = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return function(**kwargs)

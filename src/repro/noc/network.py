@@ -1,0 +1,131 @@
+"""Packet-level NoC timing simulation.
+
+The network model routes each packet along its topology path, charging router
+pipeline delay, link traversal delay, serialization delay, and contention delay.
+Contention is modelled at output-port granularity: each directed link can accept
+one flit per cycle, so a packet occupies the link for ``flits`` cycles and later
+packets queue behind it.  This captures the first-order effects the paper relies
+on (zero-load latency differences between topologies, serialization penalties of
+narrow links, mild queueing at hot spots) without simulating individual flits and
+credits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.noc.packet import MessageClass, Packet
+from repro.noc.topology import NocTopology
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Operating parameters of the simulated network.
+
+    Attributes:
+        link_width_bits: flit width; response packets carrying a 64-byte line are
+            ``512 / link_width_bits + 1`` flits long.
+        vcs_per_port: virtual channels per port (per message class); only used by
+            the area/power models, the timing model resolves deadlock by
+            construction (responses are consumed unconditionally).
+        buffer_flits_per_vc: buffer depth per VC (area/power models).
+    """
+
+    link_width_bits: int = 128
+    vcs_per_port: int = 3
+    buffer_flits_per_vc: int = 5
+
+    def flits_for(self, message_class: MessageClass) -> int:
+        """Packet length in flits for ``message_class`` at this link width."""
+        if message_class is MessageClass.RESPONSE:
+            payload_bits = 64 * 8
+        else:
+            payload_bits = 0
+        return 1 + -(-payload_bits // self.link_width_bits)  # ceil division
+
+
+@dataclass
+class LinkState:
+    """Occupancy bookkeeping for one directed link."""
+
+    next_free: float = 0.0
+    flits_carried: int = 0
+    busy_cycles: float = 0.0
+
+
+class NocNetwork:
+    """Packet-level timing model over a :class:`NocTopology`."""
+
+    def __init__(self, topology: NocTopology, config: "NocConfig | None" = None):
+        self.topology = topology
+        self.config = config or NocConfig()
+        self._links: "dict[tuple[int, int], LinkState]" = {
+            (a, b): LinkState() for a, b in topology.graph.edges
+        }
+        self.delivered: "list[Packet]" = []
+
+    # ----------------------------------------------------------------- timing
+    def send(self, packet: Packet) -> float:
+        """Route ``packet`` through the network; returns its arrival time."""
+        if packet.flits <= 0:
+            packet.flits = self.config.flits_for(packet.message_class)
+        if packet.flits <= 0:  # pragma: no cover - defensive
+            packet.flits = packet.default_flits()
+        path = self.topology.route(packet.source, packet.destination)
+        time = packet.injection_time
+        for a, b in zip(path[:-1], path[1:]):
+            # Router pipeline at the upstream node.
+            time += self.topology.router_pipeline_cycles.get(a, 1)
+            link = self._links[(a, b)]
+            # Wait for the link if an earlier packet still occupies it.
+            start = max(time, link.next_free)
+            occupancy = packet.flits  # one flit per cycle
+            link.next_free = start + occupancy
+            link.flits_carried += packet.flits
+            link.busy_cycles += occupancy
+            time = start + self.topology.link(a, b).latency_cycles
+        # Serialization: the tail flit arrives packet.flits - 1 cycles after the head.
+        time += self.topology.router_pipeline_cycles.get(path[-1], 1)
+        time += packet.flits - 1
+        packet.arrival_time = time
+        packet.hops = len(path) - 1
+        self.delivered.append(packet)
+        return time
+
+    def run(self, packets: Iterable[Packet]) -> "list[Packet]":
+        """Send ``packets`` in injection-time order and return the delivered list."""
+        ordered = sorted(packets, key=lambda p: (p.injection_time, p.packet_id))
+        for packet in ordered:
+            self.send(packet)
+        return self.delivered
+
+    # ------------------------------------------------------------------ stats
+    def average_latency(self) -> float:
+        """Average end-to-end packet latency."""
+        if not self.delivered:
+            return 0.0
+        return sum(p.latency for p in self.delivered) / len(self.delivered)
+
+    def average_latency_by_class(self) -> "dict[MessageClass, float]":
+        """Average latency per message class."""
+        sums: "dict[MessageClass, list[float]]" = {}
+        for packet in self.delivered:
+            sums.setdefault(packet.message_class, []).append(packet.latency)
+        return {cls: sum(v) / len(v) for cls, v in sums.items()}
+
+    def average_hops(self) -> float:
+        """Average hop count of delivered packets."""
+        if not self.delivered:
+            return 0.0
+        return sum(p.hops for p in self.delivered) / len(self.delivered)
+
+    def total_flit_hops(self) -> int:
+        """Total flit-hops carried (the energy model's activity measure)."""
+        return sum(state.flits_carried for state in self._links.values())
+
+    def max_link_utilization(self, elapsed_cycles: float) -> float:
+        """Utilization of the busiest link (congestion indicator)."""
+        if elapsed_cycles <= 0 or not self._links:
+            return 0.0
+        return min(1.0, max(s.busy_cycles for s in self._links.values()) / elapsed_cycles)

@@ -1,0 +1,65 @@
+"""Packet and message-class definitions for the NoC simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MessageClass(enum.Enum):
+    """Coherence message classes (three classes guarantee protocol deadlock freedom).
+
+    NOC-Out's reduction trees only ever carry requests and responses; snoop
+    requests originate at the directory nodes in the LLC region (Section 4.2.2).
+    """
+
+    DATA_REQUEST = "data_request"
+    SNOOP_REQUEST = "snoop_request"
+    RESPONSE = "response"
+
+
+#: Flit payload sizes per message class for 128-bit links: a request/snoop is a
+#: single head flit; a response carries a 64-byte cache line (4 flits of payload
+#: plus the head flit).
+FLITS_BY_CLASS = {
+    MessageClass.DATA_REQUEST: 1,
+    MessageClass.SNOOP_REQUEST: 1,
+    MessageClass.RESPONSE: 5,
+}
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    Attributes:
+        source: source node id.
+        destination: destination node id.
+        message_class: coherence message class (selects the virtual channel).
+        injection_time: cycle at which the packet enters the network interface.
+        flits: packet length in flits (derived from the message class and link
+            width when omitted).
+        packet_id: unique id (assigned by the traffic generator).
+    """
+
+    source: int
+    destination: int
+    message_class: MessageClass
+    injection_time: float
+    #: Packet length in flits.  Left at 0 by the traffic generator so the network
+    #: sizes it from its own link width (narrow links mean longer packets).
+    flits: int = 0
+    packet_id: int = -1
+    arrival_time: float = field(default=-1.0)
+    hops: int = field(default=0)
+
+    def default_flits(self) -> int:
+        """Packet length assuming the nominal 128-bit links."""
+        return FLITS_BY_CLASS[self.message_class]
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (valid after delivery)."""
+        if self.arrival_time < 0:
+            raise ValueError("packet has not been delivered yet")
+        return self.arrival_time - self.injection_time

@@ -1,0 +1,223 @@
+"""End-to-end NoC study harness for Chapter 4.
+
+:class:`PodNocStudy` evaluates a 64-core pod under the three interconnect
+organizations: it builds the topology, generates the bilateral traffic for each
+workload, measures average LLC-access network latency with the packet simulator,
+feeds that latency back into the analytic performance model to obtain system
+performance, and reports area/power from the ORION-style models.  This is the
+pipeline behind Figures 4.6, 4.7 and 4.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.noc.metrics import NocAreaBreakdown, NocAreaModel, NocPowerModel
+from repro.noc.network import NocConfig, NocNetwork
+from repro.noc.packet import MessageClass
+from repro.noc.topology import NocTopology, TOPOLOGY_BUILDERS
+from repro.noc.traffic import BilateralTrafficGenerator
+from repro.perfmodel.amat import LlcAccessLatency
+from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
+from repro.technology.node import NODE_32NM, TechnologyNode
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.suite import WorkloadSuite, default_suite
+
+
+@dataclass(frozen=True)
+class NocSimulationResult:
+    """Result of evaluating one (topology, workload) pair.
+
+    Attributes:
+        topology: topology name.
+        workload: workload name.
+        average_request_latency: mean one-way request latency (cycles).
+        average_packet_latency: mean latency over all packet classes.
+        average_hops: mean hop count.
+        system_ipc: aggregate pod IPC with this network latency.
+        max_link_utilization: utilization of the busiest link.
+    """
+
+    topology: str
+    workload: str
+    average_request_latency: float
+    average_packet_latency: float
+    average_hops: float
+    system_ipc: float
+    max_link_utilization: float
+
+
+class PodNocStudy:
+    """Chapter 4 evaluation: a 64-core, 8 MB, 4-channel pod at 32nm (Table 4.1)."""
+
+    def __init__(
+        self,
+        cores: int = 64,
+        llc_mb: float = 8.0,
+        node: TechnologyNode = NODE_32NM,
+        suite: "WorkloadSuite | None" = None,
+        config: "NocConfig | None" = None,
+        duration_cycles: int = 8_000,
+        seed: int = 1,
+    ):
+        self.cores = cores
+        self.llc_mb = llc_mb
+        self.node = node
+        self.suite = suite or default_suite()
+        self.config = config or NocConfig()
+        self.duration_cycles = duration_cycles
+        self.seed = seed
+        self.model = AnalyticPerformanceModel()
+
+    # --------------------------------------------------------------- topology
+    def build_topology(self, name: str) -> NocTopology:
+        """Build the named topology sized for this pod."""
+        builder = TOPOLOGY_BUILDERS[name.lower()]
+        if name.lower() in ("nocout", "noc-out"):
+            return builder(cores=self.cores)
+        return builder(cores=self.cores)
+
+    # ----------------------------------------------------------- measurements
+    def active_cores_for(self, workload: WorkloadProfile) -> int:
+        """Cores used by a workload (poorly scaling workloads use only 16)."""
+        return min(self.cores, workload.max_cores)
+
+    def measure_latency(
+        self, topology: NocTopology, workload: WorkloadProfile, link_width_bits: "int | None" = None
+    ) -> "tuple[float, float, float, float]":
+        """(request latency, all-packet latency, hops, max link utilization)."""
+        config = self.config
+        if link_width_bits is not None:
+            config = NocConfig(
+                link_width_bits=link_width_bits,
+                vcs_per_port=self.config.vcs_per_port,
+                buffer_flits_per_vc=self.config.buffer_flits_per_vc,
+            )
+        network = NocNetwork(topology, config)
+        generator = BilateralTrafficGenerator(
+            topology, workload, per_core_ipc=0.5, seed=self.seed
+        )
+        packets = generator.generate(
+            duration_cycles=self.duration_cycles,
+            active_cores=self.active_cores_for(workload),
+        )
+        network.run(packets)
+        by_class = network.average_latency_by_class()
+        request_latency = by_class.get(MessageClass.DATA_REQUEST, network.average_latency())
+        response_latency = by_class.get(MessageClass.RESPONSE, request_latency)
+        # The LLC load-to-use path crosses the network twice (request out,
+        # response back); the model's network term is an average one-way
+        # traversal, so the effective latency is the mean of the two directions.
+        # This is what exposes the serialization penalty of narrow links: with a
+        # fixed area budget the flattened butterfly's responses stretch to dozens
+        # of flits (Section 4.4.3).
+        effective_latency = 0.5 * (request_latency + response_latency)
+        return (
+            effective_latency,
+            network.average_latency(),
+            network.average_hops(),
+            network.max_link_utilization(self.duration_cycles),
+        )
+
+    def system_performance(self, workload: WorkloadProfile, network_latency: float) -> float:
+        """Aggregate pod IPC for ``workload`` given a measured network latency."""
+        active = self.active_cores_for(workload)
+        config = SystemConfig(
+            cores=active,
+            core_type="ooo",
+            llc_capacity_mb=self.llc_mb,
+            interconnect="ideal",
+            node=self.node,
+        )
+        base_latency = self.model.llc_access_latency(config)
+        latency = LlcAccessLatency(
+            bank_cycles=base_latency.bank_cycles,
+            network_cycles=network_latency,
+            contention_cycles=base_latency.contention_cycles,
+        )
+        cpi = self.model.cpi_breakdown(workload, config, latency)
+        return cpi.ipc * active
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(
+        self, topology_names: Sequence[str] = ("mesh", "fbfly", "nocout"),
+        link_width_bits_by_topology: "dict[str, int] | None" = None,
+    ) -> "list[NocSimulationResult]":
+        """Evaluate every (topology, workload) pair; Figure 4.6's data."""
+        results: "list[NocSimulationResult]" = []
+        for name in topology_names:
+            topology = self.build_topology(name)
+            width = None
+            if link_width_bits_by_topology is not None:
+                width = link_width_bits_by_topology.get(name)
+            for workload in self.suite:
+                request_latency, packet_latency, hops, util = self.measure_latency(
+                    topology, workload, link_width_bits=width
+                )
+                ipc = self.system_performance(workload, request_latency)
+                results.append(
+                    NocSimulationResult(
+                        topology=name,
+                        workload=workload.name,
+                        average_request_latency=request_latency,
+                        average_packet_latency=packet_latency,
+                        average_hops=hops,
+                        system_ipc=ipc,
+                        max_link_utilization=util,
+                    )
+                )
+        return results
+
+    def normalized_performance(
+        self,
+        results: "list[NocSimulationResult]",
+        baseline: str = "mesh",
+    ) -> "dict[str, dict[str, float]]":
+        """Per-workload performance normalized to ``baseline`` (Figure 4.6)."""
+        by_topology: "dict[str, dict[str, float]]" = {}
+        for result in results:
+            by_topology.setdefault(result.topology, {})[result.workload] = result.system_ipc
+        baseline_perf = by_topology[baseline]
+        normalized: "dict[str, dict[str, float]]" = {}
+        for topology, per_workload in by_topology.items():
+            normalized[topology] = {
+                workload: ipc / baseline_perf[workload]
+                for workload, ipc in per_workload.items()
+            }
+        return normalized
+
+    # ------------------------------------------------------------ area & power
+    def area_breakdowns(
+        self, topology_names: Sequence[str] = ("mesh", "fbfly", "nocout")
+    ) -> "dict[str, NocAreaBreakdown]":
+        """NoC area breakdowns for Figure 4.7."""
+        model = NocAreaModel(self.node, self.config)
+        return {name: model.breakdown(self.build_topology(name)) for name in topology_names}
+
+    def area_normalized_widths(
+        self, budget_topology: str = "nocout",
+        topology_names: Sequence[str] = ("mesh", "fbfly", "nocout"),
+    ) -> "dict[str, int]":
+        """Link widths that fit every topology inside NOC-Out's area budget (Fig 4.8)."""
+        model = NocAreaModel(self.node, self.config)
+        budget = model.breakdown(self.build_topology(budget_topology)).total_mm2
+        widths: "dict[str, int]" = {}
+        for name in topology_names:
+            if name == budget_topology:
+                widths[name] = self.config.link_width_bits
+            else:
+                widths[name] = model.width_for_area_budget(self.build_topology(name), budget)
+        return widths
+
+
+def evaluate_topologies(
+    cores: int = 64,
+    duration_cycles: int = 6_000,
+    suite: "WorkloadSuite | None" = None,
+    seed: int = 1,
+) -> "dict[str, dict[str, float]]":
+    """Convenience wrapper returning Figure 4.6 (performance normalized to mesh)."""
+    study = PodNocStudy(cores=cores, duration_cycles=duration_cycles, suite=suite, seed=seed)
+    results = study.evaluate()
+    return study.normalized_performance(results)

@@ -1,0 +1,135 @@
+"""Bilateral core-to-LLC traffic generation.
+
+Scale-out workloads exhibit a *core-to-cache bilateral* access pattern
+(Section 4.2.1): cores send requests to LLC banks and receive responses; there is
+essentially no core-to-core traffic, and only ~2.7 % of LLC accesses trigger a
+snoop.  The traffic generator turns a workload profile and a per-core IPC into a
+stream of request/response (and occasional snoop) packets for the NoC simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.packet import MessageClass, Packet
+from repro.noc.topology import NocTopology
+from repro.workloads.profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Summary of one generated traffic batch."""
+
+    packets: int
+    requests: int
+    responses: int
+    snoops: int
+    duration_cycles: float
+
+
+class BilateralTrafficGenerator:
+    """Generates the request/response/snoop packet stream for one workload.
+
+    Args:
+        topology: the NoC topology packets travel over.
+        workload: workload profile (LLC access rate, snoop fraction).
+        per_core_ipc: sustained per-core IPC used to convert accesses per
+            instruction into injection rates.
+        core_type: core model name (L1 filtering differs per core).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        topology: NocTopology,
+        workload: WorkloadProfile,
+        per_core_ipc: float = 0.8,
+        core_type: str = "ooo",
+        seed: int = 1,
+    ):
+        if per_core_ipc <= 0:
+            raise ValueError("per_core_ipc must be positive")
+        self.topology = topology
+        self.workload = workload
+        self.per_core_ipc = per_core_ipc
+        self.core_type = core_type
+        self.seed = seed
+        apki = workload.llc_accesses_per_kilo_instruction(core_type)
+        #: LLC accesses injected per core per cycle.
+        self.injection_rate = apki / 1000.0 * per_core_ipc
+
+    def generate(
+        self, duration_cycles: int = 20_000, active_cores: "int | None" = None
+    ) -> "list[Packet]":
+        """Generate all packets injected during ``duration_cycles``.
+
+        Each LLC access produces a request packet from the core to a (uniformly
+        chosen) LLC node and a response packet back after a nominal bank service
+        delay; a ``snoop_fraction`` of accesses additionally produce a snoop
+        packet from the LLC node to another core.
+        """
+        if duration_cycles <= 0:
+            raise ValueError("duration_cycles must be positive")
+        rng = np.random.default_rng((self.seed, 0xABCD, duration_cycles))
+        cores = self.topology.core_nodes
+        if active_cores is not None:
+            cores = cores[:active_cores]
+        llcs = self.topology.llc_nodes
+        packets: "list[Packet]" = []
+        packet_id = 0
+        bank_service = 4.0
+        for core in cores:
+            expected = self.injection_rate * duration_cycles
+            count = int(rng.poisson(expected))
+            times = np.sort(rng.uniform(0, duration_cycles, size=count))
+            targets = rng.choice(llcs, size=count)
+            snoops = rng.random(count) < self.workload.snoop_fraction
+            for t, target, makes_snoop in zip(times, targets, snoops):
+                packets.append(
+                    Packet(
+                        source=core,
+                        destination=int(target),
+                        message_class=MessageClass.DATA_REQUEST,
+                        injection_time=float(t),
+                        packet_id=packet_id,
+                    )
+                )
+                packet_id += 1
+                packets.append(
+                    Packet(
+                        source=int(target),
+                        destination=core,
+                        message_class=MessageClass.RESPONSE,
+                        injection_time=float(t) + bank_service,
+                        packet_id=packet_id,
+                    )
+                )
+                packet_id += 1
+                if makes_snoop:
+                    victim = int(rng.choice(cores))
+                    packets.append(
+                        Packet(
+                            source=int(target),
+                            destination=victim,
+                            message_class=MessageClass.SNOOP_REQUEST,
+                            injection_time=float(t) + bank_service,
+                            packet_id=packet_id,
+                        )
+                    )
+                    packet_id += 1
+        return packets
+
+    def summarize(self, packets: "list[Packet]", duration_cycles: float) -> TrafficSummary:
+        """Summary statistics of a generated batch."""
+        requests = sum(1 for p in packets if p.message_class is MessageClass.DATA_REQUEST)
+        responses = sum(1 for p in packets if p.message_class is MessageClass.RESPONSE)
+        snoops = sum(1 for p in packets if p.message_class is MessageClass.SNOOP_REQUEST)
+        return TrafficSummary(
+            packets=len(packets),
+            requests=requests,
+            responses=responses,
+            snoops=snoops,
+            duration_cycles=duration_cycles,
+        )

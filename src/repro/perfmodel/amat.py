@@ -1,0 +1,70 @@
+"""Average-memory-access-time style CPI decomposition.
+
+The paper's analytic model (Section 2.4.3 / 3.3) "extends the classical average
+memory access time analysis to predict the aggregate number of application
+instructions committed per cycle for a given LLC capacity and core count".  This
+module holds the decomposition datatypes; the model itself lives in
+:mod:`repro.perfmodel.analytic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LlcAccessLatency:
+    """Decomposition of the average LLC access latency seen by a core.
+
+    Attributes:
+        bank_cycles: access time of the LLC bank itself.
+        network_cycles: average one-way network latency from core to bank.
+        contention_cycles: queueing delay at the banks.
+    """
+
+    bank_cycles: float
+    network_cycles: float
+    contention_cycles: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        """Total LLC load-to-use latency."""
+        return self.bank_cycles + self.network_cycles + self.contention_cycles
+
+
+@dataclass(frozen=True)
+class CpiBreakdown:
+    """Per-core cycles-per-instruction decomposition.
+
+    Attributes:
+        base: core-bound CPI (issue width, branches, L1-resident accesses).
+        instruction_fetch: stalls due to L1-I misses served by the LLC.
+        data_llc: stalls due to L1-D misses served by the LLC (MLP-adjusted).
+        memory: stalls due to LLC misses served by DRAM (MLP-adjusted).
+    """
+
+    base: float
+    instruction_fetch: float
+    data_llc: float
+    memory: float
+
+    @property
+    def total(self) -> float:
+        """Total CPI."""
+        return self.base + self.instruction_fetch + self.data_llc + self.memory
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (the paper's per-core performance metric)."""
+        return 1.0 / self.total
+
+    def as_dict(self) -> "dict[str, float]":
+        """Breakdown as a plain dictionary (for tables and serialization)."""
+        return {
+            "base": self.base,
+            "instruction_fetch": self.instruction_fetch,
+            "data_llc": self.data_llc,
+            "memory": self.memory,
+            "total": self.total,
+            "ipc": self.ipc,
+        }

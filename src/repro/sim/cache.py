@@ -1,0 +1,144 @@
+"""Set-associative cache model with LRU replacement and MSHR accounting."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache structure."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of accesses that missed (0 when the cache was never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that hit."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+@dataclass
+class CacheLine:
+    """State of one resident cache line."""
+
+    tag: int
+    dirty: bool = False
+
+
+class SetAssociativeCache:
+    """A set-associative, LRU-replacement cache.
+
+    Used both for per-core L1 caches and for individual LLC banks.  The model
+    tracks residency and dirtiness only; data values are irrelevant to the
+    studies.
+
+    Args:
+        capacity_bytes: total cache capacity in bytes.
+        associativity: ways per set.
+        line_bytes: cache line size.
+        name: human-readable name used in debugging output.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        associativity: int = 16,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+        self.capacity_bytes = capacity_bytes
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.name = name
+        lines = max(1, capacity_bytes // line_bytes)
+        self.num_sets = max(1, lines // associativity)
+        # Each set is an OrderedDict tag -> CacheLine in LRU order (last = MRU).
+        self._sets: "list[OrderedDict[int, CacheLine]]" = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # --------------------------------------------------------------- indexing
+    def _index_and_tag(self, address: int) -> "tuple[int, int]":
+        line_addr = address // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def line_address(self, address: int) -> int:
+        """Line-aligned address for ``address``."""
+        return (address // self.line_bytes) * self.line_bytes
+
+    # ----------------------------------------------------------------- lookup
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no LRU update, no stats)."""
+        index, tag = self._index_and_tag(address)
+        return tag in self._sets[index]
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access the cache; returns True on a hit.
+
+        Misses do *not* allocate -- call :meth:`fill` when the refill arrives so
+        the timing model controls allocation order.
+        """
+        self.stats.accesses += 1
+        index, tag = self._index_and_tag(address)
+        cache_set = self._sets[index]
+        line = cache_set.get(tag)
+        if line is None:
+            self.stats.misses += 1
+            return False
+        cache_set.move_to_end(tag)
+        if is_write:
+            line.dirty = True
+        self.stats.hits += 1
+        return True
+
+    # ------------------------------------------------------------------- fill
+    def fill(self, address: int, dirty: bool = False) -> "int | None":
+        """Install the line holding ``address``; returns the evicted line address, if any."""
+        index, tag = self._index_and_tag(address)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            if dirty:
+                cache_set[tag].dirty = True
+            return None
+        evicted_address: "int | None" = None
+        if len(cache_set) >= self.associativity:
+            victim_tag, victim = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+            evicted_address = (victim_tag * self.num_sets + index) * self.line_bytes
+        cache_set[tag] = CacheLine(tag=tag, dirty=dirty)
+        return evicted_address
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line holding ``address``; returns True if it was resident."""
+        index, tag = self._index_and_tag(address)
+        return self._sets[index].pop(tag, None) is not None
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,69 @@
+"""Minimal discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """A time-ordered event queue driving the simulation.
+
+    Events are (time, callback) pairs; ties are broken by insertion order so the
+    simulation is fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: "list[tuple[float, int, Callable[[], None]]]" = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError("cannot schedule an event in the past")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting to run."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self.now = time
+        callback()
+        self._processed += 1
+        return True
+
+    def run(self, until: "float | None" = None, max_events: "int | None" = None) -> float:
+        """Run events until the queue empties, ``until`` is reached, or the budget runs out.
+
+        Returns the simulation time when the run stopped.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return self.now

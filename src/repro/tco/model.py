@@ -1,0 +1,111 @@
+"""Four-category datacenter TCO model (EETCO-style, Section 5.2.1).
+
+Monthly TCO is the sum of:
+
+* **infrastructure** -- land, building, power provisioning and cooling equipment,
+  depreciated over 15 years; sized by rack floor area (plus the cooling-equipment
+  space overhead) and by critical power;
+* **server and networking hardware** -- amortized over 3 and 4 years respectively;
+* **power** -- electricity for the IT load times the facility PUE;
+* **maintenance** -- repair costs driven by component MTTFs plus personnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tco.params import DEFAULT_TCO_PARAMETERS, TcoParameters
+from repro.tco.server import ServerDesign
+
+_HOURS_PER_MONTH = 730.0
+_MONTHS_PER_YEAR = 12.0
+
+
+@dataclass(frozen=True)
+class TcoBreakdown:
+    """Monthly TCO broken into the four expense categories (USD/month)."""
+
+    infrastructure: float
+    hardware: float
+    power: float
+    maintenance: float
+
+    @property
+    def total(self) -> float:
+        """Total monthly TCO."""
+        return self.infrastructure + self.hardware + self.power + self.maintenance
+
+    def as_dict(self) -> "dict[str, float]":
+        """Breakdown as a dictionary."""
+        return {
+            "infrastructure": self.infrastructure,
+            "hardware": self.hardware,
+            "power": self.power,
+            "maintenance": self.maintenance,
+            "total": self.total,
+        }
+
+
+class TcoModel:
+    """Computes monthly datacenter TCO for a fleet of identical servers."""
+
+    def __init__(self, params: TcoParameters = DEFAULT_TCO_PARAMETERS):
+        self.params = params
+
+    def monthly_tco(
+        self,
+        server: ServerDesign,
+        num_servers: int,
+        num_racks: int,
+        processor_price: float,
+    ) -> TcoBreakdown:
+        """Monthly TCO of ``num_servers`` servers across ``num_racks`` racks."""
+        if num_servers <= 0 or num_racks <= 0:
+            raise ValueError("num_servers and num_racks must be positive")
+        p = self.params
+
+        # Infrastructure: floor space + power/cooling provisioning, 15-year life.
+        it_area = num_racks * p.rack_area_m2 * (1.0 + p.cooling_space_overhead)
+        critical_power_w = num_servers * server.server_power_w + num_racks * p.network_gear_power_w
+        infrastructure_capex = (
+            it_area * p.infrastructure_cost_per_m2
+            + critical_power_w * p.cooling_power_equipment_cost_per_w
+        )
+        infrastructure = infrastructure_capex / (
+            p.infrastructure_depreciation_years * _MONTHS_PER_YEAR
+        )
+
+        # Hardware: servers (3-year) plus network gear (4-year).
+        server_capex = num_servers * server.hardware_cost(processor_price)
+        network_capex = num_racks * p.network_gear_cost_per_rack
+        hardware = server_capex / (p.server_amortization_years * _MONTHS_PER_YEAR) + (
+            network_capex / (p.network_amortization_years * _MONTHS_PER_YEAR)
+        )
+
+        # Power: IT load times PUE, at the contracted electricity price.
+        total_power_kw = critical_power_w * p.pue / 1000.0
+        power = total_power_kw * _HOURS_PER_MONTH * p.electricity_cost_per_kwh
+
+        # Maintenance: expected monthly replacements plus personnel.
+        disk_failures = num_servers * server.config.disks / (p.disk_mttf_years * _MONTHS_PER_YEAR)
+        dram_failures = (
+            num_servers
+            * server.config.memory_gb
+            / (p.dram_mttf_years_per_gb * _MONTHS_PER_YEAR)
+        )
+        cpu_failures = (
+            num_servers * server.sockets / (p.processor_mttf_years * _MONTHS_PER_YEAR)
+        )
+        repair = (
+            disk_failures * p.disk_cost
+            + dram_failures * p.dram_cost_per_gb
+            + cpu_failures * processor_price
+        )
+        maintenance = repair + num_racks * p.personnel_cost_per_rack_month
+
+        return TcoBreakdown(
+            infrastructure=infrastructure,
+            hardware=hardware,
+            power=power,
+            maintenance=maintenance,
+        )

@@ -1,0 +1,40 @@
+"""Process technology models: nodes, SRAM, wires, and component area/power tables.
+
+This package replaces the technology inputs the paper obtained from CACTI 6.5,
+ORION 2.0, McPAT, and published die micrographs.  All numbers are anchored to the
+figures the paper itself publishes (Tables 2.1, 2.2, 4.1, and 6.1) so that the
+design-space studies reproduce the paper's constraints.
+"""
+
+from repro.technology.node import (
+    TechnologyNode,
+    NODE_40NM,
+    NODE_32NM,
+    NODE_20NM,
+    get_node,
+    scale_area,
+    scale_power,
+)
+from repro.technology.cacti import SramModel, CacheEstimate
+from repro.technology.wires import WireModel
+from repro.technology.components import (
+    ComponentCatalog,
+    ComponentSpec,
+    catalog_for_node,
+)
+
+__all__ = [
+    "TechnologyNode",
+    "NODE_40NM",
+    "NODE_32NM",
+    "NODE_20NM",
+    "get_node",
+    "scale_area",
+    "scale_power",
+    "SramModel",
+    "CacheEstimate",
+    "WireModel",
+    "ComponentCatalog",
+    "ComponentSpec",
+    "catalog_for_node",
+]

@@ -1,0 +1,124 @@
+"""A simplified SRAM/cache estimation model (CACTI substitute).
+
+The paper uses CACTI 6.5 to estimate cache area, access latency, and energy.  CACTI
+itself is a large C++ tool; this module provides an analytic stand-in calibrated to
+the per-MB figures the paper publishes:
+
+* 5 mm^2 and 1 W per MB of 16-way set-associative LLC at 40nm (Table 2.1);
+* 3.2 mm^2 per MB at 32nm (Table 4.1);
+* single-bank access latencies in the range reported for NUCA LLCs (a few cycles
+  for small banks, growing roughly with the square root of capacity, dominated by
+  wordline/bitline RC and H-tree wiring).
+
+Only *relative* trends matter to the performance-density optimization: larger
+caches are slower and bigger, smaller caches are faster and leave room for cores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.technology.node import TechnologyNode, scale_area, scale_power
+
+
+@dataclass(frozen=True)
+class CacheEstimate:
+    """CACTI-like estimate for one cache bank or cache slice.
+
+    Attributes:
+        capacity_mb: bank capacity in megabytes.
+        area_mm2: silicon area of the bank, including tag arrays and peripherals.
+        access_latency_cycles: load-to-use access latency at the node frequency.
+        dynamic_energy_nj: energy per access (nJ).
+        leakage_w: static leakage power (W).
+    """
+
+    capacity_mb: float
+    area_mm2: float
+    access_latency_cycles: int
+    dynamic_energy_nj: float
+    leakage_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Rough total power assuming the paper's 1 W/MB activity factor at 40nm."""
+        return self.leakage_w + self.dynamic_energy_nj  # both already scaled per bank
+
+
+class SramModel:
+    """Analytic SRAM bank model parametrized by a technology node.
+
+    The model decomposes bank access latency into a fixed decode/sense component
+    plus a wire component that grows with the physical extent of the array
+    (proportional to ``sqrt(area)``), matching the first-order behaviour of CACTI's
+    uniform cache access estimates.
+    """
+
+    #: mm^2 per MB of 16-way SA cache at the 40nm baseline (paper Table 2.1).
+    AREA_MM2_PER_MB_40NM = 5.0
+    #: W per MB at the 40nm baseline (paper Table 2.1), leakage + activity.
+    POWER_W_PER_MB_40NM = 1.0
+    #: Fixed portion of the bank access pipeline (decode, tag compare, sense amps).
+    BASE_LATENCY_CYCLES = 2.0
+    #: Reference dynamic energy per access for a 1MB bank at 40nm (nJ).
+    DYN_ENERGY_NJ_PER_ACCESS_1MB_40NM = 0.35
+
+    def __init__(self, node: TechnologyNode, associativity: int = 16, line_bytes: int = 64):
+        if associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+        self.node = node
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+
+    # ------------------------------------------------------------------ area
+    def area_mm2(self, capacity_mb: float) -> float:
+        """Bank area in mm^2 for ``capacity_mb`` megabytes of cache."""
+        if capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+        base = self.AREA_MM2_PER_MB_40NM * capacity_mb
+        # Mild sub-linearity: peripheral overhead amortizes in bigger banks.
+        overhead = 0.15 * self.AREA_MM2_PER_MB_40NM * math.sqrt(capacity_mb)
+        return scale_area(base + overhead, self.node)
+
+    # ----------------------------------------------------------------- power
+    def power_w(self, capacity_mb: float) -> float:
+        """Total (leakage + activity) power for a bank of ``capacity_mb`` MB."""
+        if capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+        return scale_power(self.POWER_W_PER_MB_40NM * capacity_mb, self.node)
+
+    def dynamic_energy_nj(self, capacity_mb: float) -> float:
+        """Energy per read access (nJ), growing with sqrt(capacity)."""
+        if capacity_mb <= 0:
+            raise ValueError("capacity_mb must be positive")
+        e40 = self.DYN_ENERGY_NJ_PER_ACCESS_1MB_40NM * math.sqrt(capacity_mb)
+        return e40 * self.node.logic_power_scale
+
+    # --------------------------------------------------------------- latency
+    def access_latency_cycles(self, capacity_mb: float) -> int:
+        """Load-to-use latency in cycles for a single bank of ``capacity_mb`` MB.
+
+        The wire component is derived from the bank's physical extent at the target
+        node and the node's repeatered wire delay, so latency in *cycles* is nearly
+        node-independent (smaller banks but slower relative wires), which matches
+        the paper's constant per-hop and per-bank delays across nodes.
+        """
+        area = self.area_mm2(capacity_mb)
+        extent_mm = math.sqrt(area)
+        wire_cycles = self.node.wire_delay_cycles(extent_mm) * 2.0  # in + out
+        total = self.BASE_LATENCY_CYCLES + wire_cycles
+        return max(1, int(round(total)))
+
+    # -------------------------------------------------------------- estimate
+    def estimate(self, capacity_mb: float) -> CacheEstimate:
+        """Full CACTI-like estimate for a bank of ``capacity_mb`` MB."""
+        return CacheEstimate(
+            capacity_mb=capacity_mb,
+            area_mm2=self.area_mm2(capacity_mb),
+            access_latency_cycles=self.access_latency_cycles(capacity_mb),
+            dynamic_energy_nj=self.dynamic_energy_nj(capacity_mb),
+            leakage_w=self.power_w(capacity_mb),
+        )

@@ -1,0 +1,182 @@
+"""Process technology nodes and scaling rules.
+
+The paper evaluates chips at three nodes:
+
+* 40nm -- the baseline for Chapters 2, 3, 5, and 6 (0.9 V, 2 GHz, 95 W budget,
+  250-280 mm^2 dies, up to six DDR3 channels);
+* 32nm -- the NOC-Out study of Chapter 4 (0.9 V, 2 GHz, 64-core pod);
+* 20nm -- the scaling projection (0.8 V, 2 GHz, DDR4, perfect area scaling of
+  cores and caches, memory-interface analog circuitry does not scale).
+
+A :class:`TechnologyNode` carries the supply voltage, operating frequency, and the
+scaling factors relative to the 40nm baseline.  Component catalogs
+(:mod:`repro.technology.components`) use these factors to derive per-node area and
+power figures from the paper's published 40nm values (Table 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChipConstraints:
+    """Physical budgets that bound a single die.
+
+    Attributes:
+        max_area_mm2: maximum die area available for the design (mm^2).
+        max_power_w: thermal design power budget (W).
+        max_memory_channels: maximum number of DRAM channels that fit on the die
+            perimeter / package pins.
+    """
+
+    max_area_mm2: float
+    max_power_w: float
+    max_memory_channels: int
+
+    def __post_init__(self) -> None:
+        if self.max_area_mm2 <= 0:
+            raise ValueError("max_area_mm2 must be positive")
+        if self.max_power_w <= 0:
+            raise ValueError("max_power_w must be positive")
+        if self.max_memory_channels <= 0:
+            raise ValueError("max_memory_channels must be positive")
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A manufacturing process node.
+
+    Attributes:
+        name: human readable node name, e.g. ``"40nm"``.
+        feature_nm: drawn feature size in nanometres.
+        vdd: nominal supply voltage (V).
+        frequency_ghz: nominal operating frequency used throughout the paper (GHz).
+        logic_area_scale: multiplicative factor applied to 40nm logic/SRAM area to
+            obtain area at this node (1.0 at 40nm, 0.25 at 20nm under perfect
+            scaling over two generations).
+        logic_power_scale: multiplicative factor applied to 40nm dynamic power.
+            Voltage scaling (0.9 V -> 0.8 V) and constant frequency give roughly
+            ``(C_scale) * (V^2 ratio)``.
+        analog_area_scale: scaling factor for analog/PHY circuitry (memory
+            interfaces), which the paper observes does not benefit from scaling.
+        memory_standard: DRAM interface standard available at this node.
+        constraints: default die-level constraints used by the paper at this node.
+        wire_delay_ps_per_mm: repeatered semi-global wire delay.
+        wire_energy_fj_per_bit_mm: repeatered wire energy on random data.
+    """
+
+    name: str
+    feature_nm: int
+    vdd: float
+    frequency_ghz: float
+    logic_area_scale: float
+    logic_power_scale: float
+    analog_area_scale: float
+    memory_standard: str
+    constraints: ChipConstraints
+    wire_delay_ps_per_mm: float = 125.0
+    wire_energy_fj_per_bit_mm: float = 50.0
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1.0 / self.frequency_ghz
+
+    def cycles_for_ns(self, nanoseconds: float) -> float:
+        """Convert a latency in nanoseconds to (fractional) clock cycles."""
+        return nanoseconds * self.frequency_ghz
+
+    def wire_delay_cycles(self, distance_mm: float) -> float:
+        """Delay, in cycles, of a repeatered wire spanning ``distance_mm``."""
+        if distance_mm < 0:
+            raise ValueError("distance_mm must be non-negative")
+        delay_ns = distance_mm * self.wire_delay_ps_per_mm / 1000.0
+        return self.cycles_for_ns(delay_ns)
+
+
+def scale_area(area_mm2_40nm: float, node: TechnologyNode, analog: bool = False) -> float:
+    """Scale a 40nm area figure to ``node``.
+
+    Args:
+        area_mm2_40nm: area at the 40nm baseline node.
+        node: target technology node.
+        analog: if True, use the analog scaling factor (memory PHYs and other
+            circuits that the paper notes do not shrink).
+    """
+    factor = node.analog_area_scale if analog else node.logic_area_scale
+    return area_mm2_40nm * factor
+
+
+def scale_power(power_w_40nm: float, node: TechnologyNode, analog: bool = False) -> float:
+    """Scale a 40nm power figure to ``node`` (constant frequency assumption)."""
+    if analog:
+        return power_w_40nm
+    return power_w_40nm * node.logic_power_scale
+
+
+#: Baseline node for Chapters 2, 3, 5 and 6.  95 W, ~250-280 mm^2, six DDR3
+#: channels maximum (Section 2.4.1).
+NODE_40NM = TechnologyNode(
+    name="40nm",
+    feature_nm=40,
+    vdd=0.9,
+    frequency_ghz=2.0,
+    logic_area_scale=1.0,
+    logic_power_scale=1.0,
+    analog_area_scale=1.0,
+    memory_standard="DDR3",
+    constraints=ChipConstraints(max_area_mm2=280.0, max_power_w=95.0, max_memory_channels=6),
+)
+
+#: Node used for the NOC-Out study (Chapter 4): a 64-core pod at 32nm.  The area
+#: scale reproduces the paper's 2.9 mm^2 ARM Cortex-A15 and 3.2 mm^2/MB LLC.
+NODE_32NM = TechnologyNode(
+    name="32nm",
+    feature_nm=32,
+    vdd=0.9,
+    frequency_ghz=2.0,
+    logic_area_scale=0.64,
+    logic_power_scale=0.85,
+    analog_area_scale=1.0,
+    memory_standard="DDR3",
+    constraints=ChipConstraints(max_area_mm2=280.0, max_power_w=95.0, max_memory_channels=6),
+)
+
+# The per-component 20nm power scale is applied to a *fixed microarchitecture*
+# (same core, same cache block): capacitance scales by 0.25 and V^2 by (0.8/0.9)^2,
+# so a 40nm component consumes ~0.2x the power at 20nm at constant frequency.
+_PER_COMPONENT_20NM_POWER = 0.25 * (0.8 / 0.9) ** 2
+
+#: Scaling-projection node (Section 2.4.1): perfect area scaling of logic over two
+#: generations (4x density), 0.8 V supply, DDR4 interfaces, constant frequency.
+NODE_20NM = TechnologyNode(
+    name="20nm",
+    feature_nm=20,
+    vdd=0.8,
+    frequency_ghz=2.0,
+    logic_area_scale=0.25,
+    logic_power_scale=_PER_COMPONENT_20NM_POWER,
+    analog_area_scale=1.0,
+    memory_standard="DDR4",
+    constraints=ChipConstraints(max_area_mm2=280.0, max_power_w=95.0, max_memory_channels=6),
+)
+
+_NODES = {
+    "40nm": NODE_40NM,
+    "32nm": NODE_32NM,
+    "20nm": NODE_20NM,
+    40: NODE_40NM,
+    32: NODE_32NM,
+    20: NODE_20NM,
+}
+
+
+def get_node(name: "str | int") -> TechnologyNode:
+    """Look up a predefined technology node by name (``"40nm"``) or feature size (40)."""
+    try:
+        return _NODES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology node {name!r}; available: 40nm, 32nm, 20nm"
+        ) from None

@@ -1,0 +1,27 @@
+"""3D logic-on-logic Scale-Out Processors (Chapter 6).
+
+Chapter 6 extends pods to stacks of 2-4 logic dies connected by TSVs.  Two
+strategies exploit the negligible vertical distance:
+
+* **fixed-pod** -- keep the pod's core count and LLC capacity constant and spread
+  it across the stacked dies, shrinking its per-die footprint and the on-chip
+  distance between cores and LLC;
+* **fixed-distance** -- keep the per-die footprint constant and grow the pod's
+  core count and LLC capacity with the number of dies, keeping the on-chip
+  distance unchanged while the larger LLC filters more memory traffic.
+
+3D performance density is throughput per unit volume -- equivalently, throughput
+per footprint area divided by the number of stacked dies.
+"""
+
+from repro.three_d.stacking import StackingStrategy, StackedPod, stack_fixed_pod, stack_fixed_distance
+from repro.three_d.designer import ThreeDDesignStudy, ThreeDDesignPoint
+
+__all__ = [
+    "StackingStrategy",
+    "StackedPod",
+    "stack_fixed_pod",
+    "stack_fixed_distance",
+    "ThreeDDesignStudy",
+    "ThreeDDesignPoint",
+]

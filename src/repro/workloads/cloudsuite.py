@@ -1,0 +1,237 @@
+"""Calibrated profiles for the seven CloudSuite-style scale-out workloads.
+
+The paper (Sections 2.4.2 and 4.3.3) evaluates Data Serving, MapReduce-C (text
+classification), MapReduce-W (word count), Media Streaming, SAT Solver, Web
+Frontend (SPECweb2009 e-banking), and Web Search.  The profile parameters below
+are calibrated so that the analytic model reproduces the paper's published
+behaviour:
+
+* Figure 2.1 -- application IPC on an aggressive OoO core: only Media Streaming
+  falls below 1.0; Data Serving and MapReduce-C sit near 1.0; the remaining four
+  land between 1 and 2.
+* Figure 2.2 -- LLC capacities of 2--8 MB capture the instruction footprint and
+  secondary working set for most workloads; MapReduce-C and SAT Solver keep
+  improving up to 16 MB (by 12--24 % over 1 MB); capacity beyond 16 MB hurts.
+* Figure 2.3 -- per-core performance degrades only ~16 % when a 4 MB LLC is shared
+  by 256 cores over an ideal interconnect.
+* Figure 4.3 -- on average 2.7 % of LLC accesses trigger a snoop; Web Search is
+  lowest, Data Serving highest.
+* Table 3.1 -- software scalability limits: Media Streaming scales to 16 cores,
+  Web Frontend and Web Search to 32, the rest to 64.
+
+Because the original workloads cannot be run here, the absolute MPKI values are
+modelling choices; what the reproduction preserves is the relative behaviour that
+drives every conclusion in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.missrate import CaptureCurve, MissRatioCurve
+from repro.workloads.profile import CoreBehavior, WorkloadProfile
+
+# ---------------------------------------------------------------------------
+# Core-type execution constants.
+#
+# base CPI = _BASE_CPI[core] * workload compute factor.  The conventional core is
+# 4-wide with 128-entry ROB and 64 KB L1s; the OoO core is a 3-wide Cortex-A15
+# class design with 32 KB L1s; the in-order core is a 2-wide Cortex-A8 class
+# design.  The paper observes that the aggressive core commits at most ~2 IPC on
+# these workloads (Figure 2.1) and that simple OoO cores lose little performance.
+# ---------------------------------------------------------------------------
+
+_BASE_CPI = {"conventional": 0.55, "ooo": 0.70, "inorder": 1.30}
+_L1_MISS_SCALE = {"conventional": 0.55, "ooo": 1.00, "inorder": 1.00}
+_DATA_MLP = {"conventional": 2.2, "ooo": 1.7, "inorder": 1.10}
+_MEMORY_MLP = {"conventional": 2.6, "ooo": 2.0, "inorder": 1.4}
+
+
+def _behaviors(compute_factor: float, mlp_factor: float = 1.0) -> "dict[str, CoreBehavior]":
+    """Build the per-core-type behaviour table for one workload.
+
+    Args:
+        compute_factor: multiplier on the base CPI capturing how compute-heavy the
+            workload's instruction mix is (branchy request parsing vs. streaming).
+        mlp_factor: multiplier on the memory-level-parallelism constants for
+            workloads with unusually low (or high) overlap, e.g. Media Streaming.
+    """
+    return {
+        core: CoreBehavior(
+            base_cpi=_BASE_CPI[core] * compute_factor,
+            l1_miss_scale=_L1_MISS_SCALE[core],
+            data_mlp=max(1.0, _DATA_MLP[core] * mlp_factor),
+            memory_mlp=max(1.0, _MEMORY_MLP[core] * mlp_factor),
+        )
+        for core in _BASE_CPI
+    }
+
+
+def _curve(
+    floor: float,
+    capturable: float,
+    half_mb: float,
+    exponent: float,
+    instr_mpki: float = 0.0,
+    instr_half_mb: float = 0.5,
+) -> MissRatioCurve:
+    return MissRatioCurve(
+        floor_mpki=floor,
+        capturable_mpki=capturable,
+        capture=CaptureCurve(half_capture_mb=half_mb, exponent=exponent),
+        instruction_mpki=instr_mpki,
+        instruction_capture=CaptureCurve(half_capture_mb=instr_half_mb, exponent=2.2),
+    )
+
+
+DATA_SERVING = WorkloadProfile(
+    name="Data Serving",
+    l1i_mpki=28.0,
+    l1d_mpki=30.0,
+    llc_curve=_curve(
+        floor=3.0, capturable=6.0, half_mb=1.5, exponent=1.4, instr_mpki=7.0, instr_half_mb=0.75
+    ),
+    core_behavior=_behaviors(compute_factor=1.15),
+    snoop_fraction=0.055,
+    max_cores=64,
+    software_knee_cores=32,
+    scalability_rolloff=0.80,
+    instruction_footprint_kb=1024,
+    dataset_footprint_mb=2048,
+    latency_sensitive=True,
+)
+
+MAPREDUCE_C = WorkloadProfile(
+    name="MapReduce-C",
+    l1i_mpki=14.0,
+    l1d_mpki=22.0,
+    llc_curve=_curve(
+        floor=3.2, capturable=7.0, half_mb=5.0, exponent=1.2, instr_mpki=4.0, instr_half_mb=0.4
+    ),
+    core_behavior=_behaviors(compute_factor=1.05),
+    snoop_fraction=0.022,
+    max_cores=64,
+    software_knee_cores=64,
+    instruction_footprint_kb=512,
+    dataset_footprint_mb=4096,
+    latency_sensitive=False,
+)
+
+MAPREDUCE_W = WorkloadProfile(
+    name="MapReduce-W",
+    l1i_mpki=10.0,
+    l1d_mpki=16.0,
+    llc_curve=_curve(
+        floor=2.4, capturable=4.0, half_mb=1.5, exponent=1.4, instr_mpki=3.0, instr_half_mb=0.35
+    ),
+    core_behavior=_behaviors(compute_factor=0.82),
+    snoop_fraction=0.026,
+    max_cores=64,
+    software_knee_cores=64,
+    instruction_footprint_kb=384,
+    dataset_footprint_mb=4096,
+    latency_sensitive=False,
+)
+
+MEDIA_STREAMING = WorkloadProfile(
+    name="Media Streaming",
+    l1i_mpki=12.0,
+    l1d_mpki=20.0,
+    llc_curve=_curve(
+        floor=4.4, capturable=3.0, half_mb=1.2, exponent=1.5, instr_mpki=3.0, instr_half_mb=0.3
+    ),
+    core_behavior=_behaviors(compute_factor=1.45, mlp_factor=0.72),
+    snoop_fraction=0.012,
+    max_cores=16,
+    software_knee_cores=16,
+    instruction_footprint_kb=320,
+    dataset_footprint_mb=8192,
+    latency_sensitive=True,
+)
+
+SAT_SOLVER = WorkloadProfile(
+    name="SAT Solver",
+    l1i_mpki=8.0,
+    l1d_mpki=22.0,
+    llc_curve=_curve(
+        floor=2.8, capturable=6.5, half_mb=4.5, exponent=1.2, instr_mpki=1.5, instr_half_mb=0.2
+    ),
+    core_behavior=_behaviors(compute_factor=0.90),
+    snoop_fraction=0.033,
+    max_cores=64,
+    software_knee_cores=32,
+    scalability_rolloff=0.85,
+    instruction_footprint_kb=256,
+    dataset_footprint_mb=1024,
+    latency_sensitive=False,
+)
+
+WEB_FRONTEND = WorkloadProfile(
+    name="Web Frontend",
+    l1i_mpki=30.0,
+    l1d_mpki=24.0,
+    llc_curve=_curve(
+        floor=2.0, capturable=6.0, half_mb=2.0, exponent=1.4, instr_mpki=9.0, instr_half_mb=1.05
+    ),
+    core_behavior=_behaviors(compute_factor=0.80),
+    snoop_fraction=0.040,
+    max_cores=32,
+    software_knee_cores=32,
+    instruction_footprint_kb=1536,
+    dataset_footprint_mb=1024,
+    latency_sensitive=True,
+)
+
+WEB_SEARCH = WorkloadProfile(
+    name="Web Search",
+    l1i_mpki=24.0,
+    l1d_mpki=18.0,
+    llc_curve=_curve(
+        floor=1.5, capturable=5.0, half_mb=1.8, exponent=1.5, instr_mpki=8.0, instr_half_mb=1.3
+    ),
+    core_behavior=_behaviors(compute_factor=0.68),
+    snoop_fraction=0.006,
+    max_cores=32,
+    software_knee_cores=32,
+    scalability_rolloff=0.85,
+    instruction_footprint_kb=2048,
+    dataset_footprint_mb=2048,
+    latency_sensitive=True,
+)
+
+#: All seven workloads in the paper's canonical presentation order.
+CLOUDSUITE: "tuple[WorkloadProfile, ...]" = (
+    DATA_SERVING,
+    MAPREDUCE_C,
+    MAPREDUCE_W,
+    MEDIA_STREAMING,
+    SAT_SOLVER,
+    WEB_FRONTEND,
+    WEB_SEARCH,
+)
+
+_BY_NAME = {w.name.lower(): w for w in CLOUDSUITE}
+_ALIASES = {
+    "data serving": "data serving",
+    "dataserving": "data serving",
+    "mapreduce-c": "mapreduce-c",
+    "mapreduce-w": "mapreduce-w",
+    "mapreduce_c": "mapreduce-c",
+    "mapreduce_w": "mapreduce-w",
+    "media streaming": "media streaming",
+    "sat solver": "sat solver",
+    "web frontend": "web frontend",
+    "web search": "web search",
+}
+
+
+def workload_names() -> "list[str]":
+    """Names of all workloads in the suite, in presentation order."""
+    return [w.name for w in CLOUDSUITE]
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look up a workload profile by (case-insensitive) name."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {workload_names()}") from None

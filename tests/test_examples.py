@@ -1,0 +1,25 @@
+"""Smoke tests for the runnable examples (they must execute end to end)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "workload_characterization.py"],
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 100
+
+
+def test_examples_exist():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "datacenter_tco_study.py", "nocout_pod_design.py",
+            "workload_characterization.py"}.issubset(scripts)

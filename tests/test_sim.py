@@ -1,0 +1,275 @@
+"""Tests for the cycle-level simulation substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cores.models import OOO
+from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.core import TraceDrivenCore
+from repro.sim.directory import Directory
+from repro.sim.engine import EventQueue
+from repro.sim.memctrl import MemoryChannelSim
+from repro.sim.system import SimulatedSystem, simulate_system
+from repro.technology.node import NODE_40NM
+from repro.workloads import get_workload
+from repro.workloads.traces import TraceEvent
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5, lambda: order.append("b"))
+        queue.schedule(1, lambda: order.append("a"))
+        queue.schedule(9, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+        assert queue.now == 9
+        assert queue.processed == 3
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2, lambda: order.append(1))
+        queue.schedule(2, lambda: order.append(2))
+        queue.run()
+        assert order == [1, 2]
+
+    def test_run_until(self):
+        queue = EventQueue()
+        hits = []
+        for t in (1, 2, 10):
+            queue.schedule(t, lambda t=t: hits.append(t))
+        queue.run(until=5)
+        assert hits == [1, 2]
+        assert queue.pending == 1
+
+    def test_invalid_schedule(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+        queue.schedule(5, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule_at(1, lambda: None)
+
+
+class TestSetAssociativeCache:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeCache(capacity_bytes=4096, associativity=2)
+        assert not cache.access(0x100)
+        cache.fill(0x100)
+        assert cache.access(0x100)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(capacity_bytes=2 * 64, associativity=2)
+        # Single set with two ways: filling a third distinct line evicts the LRU.
+        cache.fill(0)
+        cache.fill(64 * cache.num_sets)  # same set, different tag
+        cache.access(0)  # touch line 0 -> the other line becomes LRU
+        evicted = cache.fill(2 * 64 * cache.num_sets)
+        assert evicted == 64 * cache.num_sets
+        assert cache.access(0)
+
+    def test_writeback_counted_for_dirty_victims(self):
+        cache = SetAssociativeCache(capacity_bytes=2 * 64, associativity=2)
+        cache.fill(0, dirty=True)
+        cache.fill(64 * cache.num_sets)
+        cache.fill(2 * 64 * cache.num_sets)
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(capacity_bytes=4096)
+        cache.fill(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.invalidate(0x40)
+        assert not cache.contains(0x40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=1024, associativity=0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=1024, line_bytes=48)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+    def test_resident_lines_never_exceed_capacity(self, addresses):
+        cache = SetAssociativeCache(capacity_bytes=8192, associativity=4)
+        capacity_lines = 8192 // 64
+        for address in addresses:
+            if not cache.access(address):
+                cache.fill(address)
+            assert cache.resident_lines <= capacity_lines
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=100))
+    def test_second_access_always_hits_small_footprint(self, addresses):
+        # With a footprint smaller than the cache, re-accessing any line hits.
+        cache = SetAssociativeCache(capacity_bytes=1 << 20, associativity=16)
+        for address in addresses:
+            if not cache.access(address):
+                cache.fill(address)
+        for address in addresses:
+            assert cache.access(address)
+
+
+class TestDirectory:
+    def test_read_sharing_no_snoops(self):
+        directory = Directory()
+        assert directory.access(0, 0x100, is_write=False) == 0
+        assert directory.access(1, 0x100, is_write=False) == 0
+        assert directory.sharers_of(0x100) == frozenset({0, 1})
+
+    def test_write_invalidates_sharers(self):
+        directory = Directory()
+        directory.access(0, 0x100, is_write=False)
+        directory.access(1, 0x100, is_write=False)
+        snoops = directory.access(2, 0x100, is_write=True)
+        assert snoops == 2
+        assert directory.sharers_of(0x100) == frozenset({2})
+
+    def test_read_of_modified_line_forwards(self):
+        directory = Directory()
+        directory.access(0, 0x200, is_write=True)
+        assert directory.access(1, 0x200, is_write=False) == 1
+        assert directory.stats.forward_snoops == 1
+
+    def test_own_data_no_snoop(self):
+        directory = Directory()
+        directory.access(0, 0x300, is_write=True)
+        assert directory.access(0, 0x300, is_write=True) == 0
+        assert directory.access(0, 0x300, is_write=False) == 0
+
+    def test_evict_clears_state(self):
+        directory = Directory()
+        directory.access(0, 0x100, is_write=True)
+        directory.evict(0x100)
+        assert directory.sharers_of(0x100) == frozenset()
+
+    def test_snoop_fraction_statistic(self):
+        directory = Directory()
+        directory.access(0, 0, is_write=False)
+        directory.access(1, 0, is_write=True)
+        assert directory.stats.lookups == 2
+        assert 0 < directory.stats.snoop_fraction <= 1.0
+
+
+class TestMemoryChannel:
+    def test_fixed_latency_when_idle(self):
+        channel = MemoryChannelSim(node=NODE_40NM)
+        completion = channel.request(0.0)
+        assert completion == pytest.approx(channel.service_cycles + 90.0)
+
+    def test_back_to_back_requests_queue(self):
+        channel = MemoryChannelSim(node=NODE_40NM)
+        first = channel.request(0.0)
+        second = channel.request(0.0)
+        assert second > first
+        assert channel.requests == 2
+        assert channel.utilization(100.0) > 0
+
+    def test_invalid_time(self):
+        with pytest.raises(ValueError):
+            MemoryChannelSim(node=NODE_40NM).request(-1.0)
+
+
+class TestTraceDrivenCore:
+    def _trace(self):
+        return [
+            TraceEvent(instruction_gap=10, address=0x1000, is_instruction=True, is_write=False, shared=False),
+            TraceEvent(instruction_gap=10, address=0x2000, is_instruction=False, is_write=False, shared=False),
+            TraceEvent(instruction_gap=10, address=0x3000, is_instruction=False, is_write=True, shared=False),
+        ]
+
+    def test_instruction_fetches_stall_fully(self):
+        latencies = []
+        def llc_request(core_id, address, is_write, is_instruction, now):
+            latencies.append((is_instruction, now))
+            return 50.0
+        core = TraceDrivenCore(0, OOO, get_workload("Web Search"), self._trace(), llc_request)
+        stats = core.run()
+        assert stats.instructions == 30
+        assert stats.fetch_stall_cycles == pytest.approx(50.0)
+        assert stats.cycles > 30 * 0.4  # at least the base-CPI time passed
+        assert core.done
+
+    def test_data_requests_overlap_within_window(self):
+        def llc_request(core_id, address, is_write, is_instruction, now):
+            return 100.0
+        trace = [
+            TraceEvent(instruction_gap=1, address=0x1000 * (i + 1), is_instruction=False, is_write=False, shared=False)
+            for i in range(4)
+        ]
+        core = TraceDrivenCore(0, OOO, get_workload("Web Search"), trace, llc_request)
+        stats = core.run()
+        # Four overlapping 100-cycle misses must not serialize into 400 cycles.
+        assert stats.cycles < 250.0
+
+    def test_ipc_property(self):
+        core = TraceDrivenCore(0, OOO, get_workload("Web Search"), self._trace(), lambda *a: 10.0)
+        core.run()
+        assert 0 < core.ipc < OOO.issue_width
+
+
+class TestSimulatedSystem:
+    def test_end_to_end_stats(self):
+        workload = get_workload("Web Search")
+        config = SystemConfig(cores=4, core_type="ooo", llc_capacity_mb=4, interconnect="crossbar")
+        stats = simulate_system(workload, config, instructions_per_core=4000, seed=3)
+        assert stats.instructions >= 4 * 4000 * 0.9
+        assert stats.aggregate_ipc > 0.5
+        assert 0 <= stats.snoop_fraction < 0.2
+        assert stats.llc_accesses > 0
+        assert stats.llc_misses <= stats.llc_accesses
+        assert len(stats.per_core_cycles) == 4
+
+    def test_deterministic_given_seed(self):
+        workload = get_workload("Data Serving")
+        config = SystemConfig(cores=2, core_type="ooo", llc_capacity_mb=2)
+        a = simulate_system(workload, config, instructions_per_core=3000, seed=5)
+        b = simulate_system(workload, config, instructions_per_core=3000, seed=5)
+        assert a.aggregate_ipc == pytest.approx(b.aggregate_ipc)
+        assert a.llc_misses == b.llc_misses
+
+    def test_warmup_reduces_misses(self):
+        workload = get_workload("Web Search")
+        config = SystemConfig(cores=4, core_type="ooo", llc_capacity_mb=4)
+        cold = SimulatedSystem(workload, config, seed=3).run(4000, warmup=False)
+        warm = SimulatedSystem(workload, config, seed=3).run(4000, warmup=True)
+        assert warm.llc_miss_ratio < cold.llc_miss_ratio
+
+    def test_smaller_llc_misses_more(self):
+        workload = get_workload("Web Search")
+        small = simulate_system(workload, SystemConfig(cores=4, llc_capacity_mb=1), 4000, seed=3)
+        large = simulate_system(workload, SystemConfig(cores=4, llc_capacity_mb=8), 4000, seed=3)
+        assert small.llc_mpki > large.llc_mpki
+
+    def test_mesh_slower_than_crossbar_at_many_cores(self):
+        workload = get_workload("Web Frontend")
+        mesh = simulate_system(
+            workload, SystemConfig(cores=16, llc_capacity_mb=4, interconnect="mesh"), 3000, seed=3
+        )
+        crossbar = simulate_system(
+            workload, SystemConfig(cores=16, llc_capacity_mb=4, interconnect="crossbar"), 3000, seed=3
+        )
+        assert crossbar.aggregate_ipc > mesh.aggregate_ipc
+
+    def test_model_tracks_simulation_within_band(self):
+        # Figure 3.3: the analytic model follows the simulator's trends; the
+        # reduced-fidelity reproduction keeps the two within ~40 %.
+        workload = get_workload("Data Serving")
+        config = SystemConfig(cores=8, core_type="ooo", llc_capacity_mb=4)
+        simulated = simulate_system(workload, config, instructions_per_core=5000, seed=7)
+        predicted = AnalyticPerformanceModel().estimate(workload, config)
+        ratio = predicted.aggregate_ipc / simulated.aggregate_ipc
+        assert 0.6 < ratio < 1.4
+
+    def test_invalid_run_length(self):
+        workload = get_workload("Web Search")
+        config = SystemConfig(cores=2, llc_capacity_mb=2)
+        with pytest.raises(ValueError):
+            SimulatedSystem(workload, config).run(0)
