@@ -9,13 +9,24 @@ cost of regenerating it via pytest-benchmark.  Heavy experiments run with
 from __future__ import annotations
 
 from repro.experiments.formatting import format_table
+from repro.runtime import ExperimentResult
 
 
 def run_and_print(benchmark, experiment_fn, title, **kwargs):
-    """Benchmark ``experiment_fn`` once and print its table."""
+    """Benchmark ``experiment_fn`` once and print its table.
+
+    ``experiment_fn`` may be a bare chapter function returning rows or a
+    runtime-aware callable returning an :class:`ExperimentResult` envelope; the
+    envelope is unwrapped so the benchmark assertions keep seeing raw data.
+    """
     result = benchmark.pedantic(
         lambda: experiment_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
     )
+    if isinstance(result, ExperimentResult):
+        print()
+        print(format_table(result.rows, title=title))
+        print(f"# cache={result.cache_status} wall={result.wall_time_s:.3f}s")
+        return result.data
     if isinstance(result, dict):
         rows = result.get("sweep", [result])
     else:

@@ -11,10 +11,14 @@ import statistics
 
 from repro.experiments.formatting import format_table
 from repro.noc.simulation import PodNocStudy
+from repro.runtime import SweepExecutor
 
 
 def main() -> None:
     study = PodNocStudy(duration_cycles=4000)
+    # Fan the 21 (topology x workload) simulation points over a process pool;
+    # results are identical to SweepExecutor(mode="serial"), just faster.
+    executor = SweepExecutor(mode="process")
 
     print("NoC area breakdown (64-core pod, 128-bit links, 32nm):")
     area_rows = []
@@ -25,7 +29,7 @@ def main() -> None:
     print(format_table(area_rows))
     print()
 
-    results = study.evaluate()
+    results = study.evaluate(executor=executor)
     normalized = study.normalized_performance(results)
     perf_rows = []
     for topology, per_workload in normalized.items():
@@ -41,7 +45,9 @@ def main() -> None:
     print()
 
     widths = study.area_normalized_widths()
-    fixed = study.normalized_performance(study.evaluate(link_width_bits_by_topology=widths))
+    fixed = study.normalized_performance(
+        study.evaluate(link_width_bits_by_topology=widths, executor=executor)
+    )
     fixed_rows = []
     for topology, per_workload in fixed.items():
         fixed_rows.append(

@@ -1,0 +1,8 @@
+"""``python -m repro``: drive the experiment runtime from the command line."""
+
+import sys
+
+from repro.runtime.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

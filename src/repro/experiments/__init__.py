@@ -7,7 +7,8 @@ mapping from experiment id to function is in :mod:`repro.experiments.registry`.
 
 from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6
 from repro.experiments.formatting import format_table
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import CATALOG, DEFAULT_CACHE, EXPERIMENTS, run_experiment
+from repro.runtime import ExperimentResult, ExperimentSpec, ResultCache, SweepExecutor
 
 __all__ = [
     "chapter2",
@@ -16,6 +17,12 @@ __all__ = [
     "chapter5",
     "chapter6",
     "format_table",
+    "CATALOG",
+    "DEFAULT_CACHE",
     "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepExecutor",
     "run_experiment",
 ]

@@ -13,9 +13,23 @@ from typing import Sequence
 from repro.core.comparison import compare_designs
 from repro.core.designs import standard_designs
 from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
+from repro.runtime.executor import SERIAL_EXECUTOR, SweepExecutor
 from repro.technology.components import ComponentCatalog
 from repro.technology.node import NODE_20NM, NODE_40NM, TechnologyNode
 from repro.workloads.suite import WorkloadSuite, default_suite
+
+
+def _per_core_ipc_point(
+    model: AnalyticPerformanceModel,
+    suite: WorkloadSuite,
+    llc_mb: float,
+    interconnect: str,
+    cores: int,
+) -> float:
+    config = SystemConfig(
+        cores=cores, core_type="ooo", llc_capacity_mb=llc_mb, interconnect=interconnect
+    )
+    return model.average_per_core_ipc(config, suite)
 
 
 def figure_2_1_application_ipc(
@@ -62,20 +76,30 @@ def figure_2_3_core_scaling(
     llc_mb: float = 4.0,
     suite: "WorkloadSuite | None" = None,
     model: "AnalyticPerformanceModel | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """Per-core and aggregate performance versus core count, ideal versus mesh."""
     suite = suite or default_suite()
     model = model or AnalyticPerformanceModel()
-    rows = []
+    executor = executor or SERIAL_EXECUTOR
+    interconnects = ("ideal", "mesh")
     baselines: "dict[str, float]" = {}
-    for interconnect in ("ideal", "mesh"):
-        base_cfg = SystemConfig(cores=1, core_type="ooo", llc_capacity_mb=llc_mb, interconnect=interconnect)
-        baselines[interconnect] = model.average_per_core_ipc(base_cfg, suite)
+    for interconnect in interconnects:
+        baselines[interconnect] = _per_core_ipc_point(model, suite, llc_mb, interconnect, 1)
+    per_core_ipcs = executor.map(
+        _per_core_ipc_point,
+        [
+            (model, suite, llc_mb, interconnect, cores)
+            for cores in core_counts
+            for interconnect in interconnects
+        ],
+    )
+    rows = []
+    ipc_iter = iter(per_core_ipcs)
     for cores in core_counts:
         row: "dict[str, object]" = {"cores": cores}
-        for interconnect in ("ideal", "mesh"):
-            cfg = SystemConfig(cores=cores, core_type="ooo", llc_capacity_mb=llc_mb, interconnect=interconnect)
-            per_core = model.average_per_core_ipc(cfg, suite)
+        for interconnect in interconnects:
+            per_core = next(ipc_iter)
             row[f"{interconnect}_per_core"] = round(per_core / baselines[interconnect], 3)
             row[f"{interconnect}_aggregate"] = round(per_core * cores / baselines[interconnect], 1)
         rows.append(row)

@@ -14,9 +14,22 @@ from repro.core.designs import standard_designs
 from repro.core.methodology import ScaleOutDesignMethodology
 from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
 from repro.perfmodel.validation import validate_against
+from repro.runtime.executor import SweepExecutor
 from repro.sim.system import simulate_system
 from repro.technology.node import NODE_20NM, NODE_40NM, TechnologyNode
+from repro.workloads.profile import WorkloadProfile
 from repro.workloads.suite import WorkloadSuite, default_suite
+
+
+def _validation_point(
+    workload: WorkloadProfile,
+    config: SystemConfig,
+    instructions_per_core: int,
+    seed: int,
+) -> float:
+    return simulate_system(
+        workload, config, instructions_per_core=instructions_per_core, seed=seed
+    ).aggregate_ipc
 
 
 def figure_3_3_model_validation(
@@ -26,18 +39,31 @@ def figure_3_3_model_validation(
     instructions_per_core: int = 6_000,
     suite: "WorkloadSuite | None" = None,
     seed: int = 7,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """Analytic model versus cycle-level simulation (aggregate IPC per design point)."""
     suite = suite or default_suite()
+    executor = executor or SweepExecutor()
     configs = [
         SystemConfig(cores=cores, core_type="ooo", llc_capacity_mb=llc_mb, interconnect=net)
         for net in interconnects
         for cores in core_counts
     ]
+    # Simulate every (workload, config) point up front -- the expensive half of
+    # the comparison -- then serve the measurements to validate_against by
+    # (workload, config) identity, independent of its iteration order.
+    points = [(workload, config) for workload in suite for config in configs]
+    measured = executor.map(
+        _validation_point,
+        [(workload, config, instructions_per_core, seed) for workload, config in points],
+    )
+    config_index = {id(config): i for i, config in enumerate(configs)}
+    by_point = {
+        (workload.name, config_index[id(config)]): ipc
+        for (workload, config), ipc in zip(points, measured)
+    }
     report = validate_against(
-        lambda workload, config: simulate_system(
-            workload, config, instructions_per_core=instructions_per_core, seed=seed
-        ).aggregate_ipc,
+        lambda workload, config: by_point[(workload.name, config_index[id(config)])],
         suite,
         configs,
     )

@@ -2,7 +2,8 @@
 
 Covers Figure 4.3 (snoop fractions), Figure 4.6 (system performance of mesh,
 flattened butterfly, and NOC-Out), Figure 4.7 (NoC area breakdown), and Figure
-4.8 (performance under a fixed NoC area budget).
+4.8 (performance under a fixed NoC area budget).  The simulation-driven sweeps
+fan their independent points out over a :class:`~repro.runtime.SweepExecutor`.
 """
 
 from __future__ import annotations
@@ -12,8 +13,26 @@ from typing import Sequence
 
 from repro.noc.simulation import PodNocStudy
 from repro.perfmodel.analytic import SystemConfig
+from repro.runtime.executor import SweepExecutor
+from repro.sim.stats import SimulationStats
 from repro.sim.system import simulate_system
+from repro.workloads.profile import WorkloadProfile
 from repro.workloads.suite import WorkloadSuite, default_suite
+
+
+def _snoop_point(
+    workload: WorkloadProfile,
+    cores: int,
+    llc_mb: float,
+    instructions_per_core: int,
+    seed: int,
+) -> SimulationStats:
+    config = SystemConfig(
+        cores=cores, core_type="ooo", llc_capacity_mb=llc_mb, interconnect="crossbar"
+    )
+    return simulate_system(
+        workload, config, instructions_per_core=instructions_per_core, seed=seed
+    )
 
 
 def figure_4_3_snoop_fraction(
@@ -22,16 +41,18 @@ def figure_4_3_snoop_fraction(
     instructions_per_core: int = 6_000,
     suite: "WorkloadSuite | None" = None,
     seed: int = 11,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """Fraction of LLC accesses triggering a snoop, measured by the simulator."""
     suite = suite or default_suite()
+    executor = executor or SweepExecutor()
+    stats_list = executor.map(
+        _snoop_point,
+        [(workload, cores, llc_mb, instructions_per_core, seed) for workload in suite],
+    )
     rows = []
     measured = []
-    for workload in suite:
-        config = SystemConfig(cores=cores, core_type="ooo", llc_capacity_mb=llc_mb, interconnect="crossbar")
-        stats = simulate_system(
-            workload, config, instructions_per_core=instructions_per_core, seed=seed
-        )
+    for workload, stats in zip(suite, stats_list):
         measured.append(stats.snoop_fraction)
         rows.append(
             {
@@ -56,10 +77,11 @@ def figure_4_6_noc_performance(
     duration_cycles: int = 4_000,
     suite: "WorkloadSuite | None" = None,
     seed: int = 1,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """System performance of mesh / fbfly / NOC-Out, normalized to the mesh."""
     study = PodNocStudy(duration_cycles=duration_cycles, suite=suite, seed=seed)
-    normalized = study.normalized_performance(study.evaluate())
+    normalized = study.normalized_performance(study.evaluate(executor=executor))
     rows = []
     for topology, per_workload in normalized.items():
         row: "dict[str, object]" = {"topology": topology}
@@ -90,12 +112,13 @@ def figure_4_8_area_normalized(
     duration_cycles: int = 4_000,
     suite: "WorkloadSuite | None" = None,
     seed: int = 1,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """Performance under a fixed NoC area budget (every topology at NOC-Out's area)."""
     study = PodNocStudy(duration_cycles=duration_cycles, suite=suite, seed=seed)
     widths = study.area_normalized_widths()
     normalized = study.normalized_performance(
-        study.evaluate(link_width_bits_by_topology=widths)
+        study.evaluate(link_width_bits_by_topology=widths, executor=executor)
     )
     rows = []
     for topology, per_workload in normalized.items():

@@ -18,11 +18,21 @@ from repro.core.designs import (
     build_tiled,
 )
 from repro.perfmodel.analytic import AnalyticPerformanceModel
-from repro.tco.datacenter import DatacenterDesign
+from repro.runtime.executor import SERIAL_EXECUTOR, SweepExecutor
+from repro.tco.datacenter import DatacenterDesign, DatacenterResult
 from repro.tco.params import DEFAULT_TCO_PARAMETERS
 from repro.tco.pricing import ChipPricingModel
 from repro.technology.node import NODE_40NM
 from repro.workloads.suite import WorkloadSuite, default_suite
+
+
+def _datacenter_point(
+    datacenter: DatacenterDesign,
+    chip: ScaleOutChip,
+    memory_gb: int,
+    processor_price: "float | None" = None,
+) -> DatacenterResult:
+    return datacenter.evaluate(chip, memory_gb=memory_gb, processor_price=processor_price)
 
 
 def chapter5_chip_set(
@@ -84,23 +94,28 @@ def figures_5_1_5_2_performance_and_tco(
 def figures_5_3_5_4_efficiency(
     memory_capacities_gb: Sequence[int] = (32, 64, 128),
     suite: "WorkloadSuite | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """Performance/TCO and performance/Watt across server memory capacities."""
     suite = suite or default_suite()
+    executor = executor or SERIAL_EXECUTOR
     datacenter = DatacenterDesign(suite=suite)
     chips = chapter5_chip_set(suite)
+    points = [
+        (datacenter, chip, memory_gb)
+        for memory_gb in memory_capacities_gb
+        for chip in chips
+    ]
     rows = []
-    for memory_gb in memory_capacities_gb:
-        for chip in chips:
-            result = datacenter.evaluate(chip, memory_gb=memory_gb)
-            rows.append(
-                {
-                    "design": chip.name,
-                    "memory_gb": memory_gb,
-                    "performance_per_tco": round(result.performance_per_tco, 3),
-                    "performance_per_watt": round(result.performance_per_watt, 4),
-                }
-            )
+    for (_, chip, memory_gb), result in zip(points, executor.map(_datacenter_point, points)):
+        rows.append(
+            {
+                "design": chip.name,
+                "memory_gb": memory_gb,
+                "performance_per_tco": round(result.performance_per_tco, 3),
+                "performance_per_watt": round(result.performance_per_watt, 4),
+            }
+        )
     return rows
 
 
@@ -108,24 +123,32 @@ def figure_5_5_price_sensitivity(
     volumes: Sequence[int] = (40_000, 100_000, 200_000, 500_000, 1_000_000),
     memory_gb: int = 64,
     suite: "WorkloadSuite | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """Performance/TCO as a function of processor price (production volume sweep)."""
     suite = suite or default_suite()
+    executor = executor or SERIAL_EXECUTOR
     datacenter = DatacenterDesign(suite=suite)
     pricing = ChipPricingModel()
+    sweep = [
+        (chip, volume, pricing.price(chip.name, chip.die_area_mm2, volume))
+        for chip in chapter5_chip_set(suite)
+        for volume in volumes
+    ]
+    results = executor.map(
+        _datacenter_point,
+        [(datacenter, chip, memory_gb, price) for chip, _, price in sweep],
+    )
     rows = []
-    for chip in chapter5_chip_set(suite):
-        for volume in volumes:
-            price = pricing.price(chip.name, chip.die_area_mm2, volume)
-            result = datacenter.evaluate(chip, memory_gb=memory_gb, processor_price=price)
-            rows.append(
-                {
-                    "design": chip.name,
-                    "volume": volume,
-                    "price_usd": round(price, 0),
-                    "performance_per_tco": round(result.performance_per_tco, 3),
-                }
-            )
+    for (chip, volume, price), result in zip(sweep, results):
+        rows.append(
+            {
+                "design": chip.name,
+                "volume": volume,
+                "price_usd": round(price, 0),
+                "performance_per_tco": round(result.performance_per_tco, 3),
+            }
+        )
     return rows
 
 

@@ -12,10 +12,26 @@ from typing import Sequence
 
 from repro.core.methodology import ScaleOutDesignMethodology
 from repro.core.pod import Pod
+from repro.runtime.executor import SERIAL_EXECUTOR, SweepExecutor
 from repro.technology.components import ComponentCatalog
 from repro.technology.node import NODE_40NM, TechnologyNode
 from repro.three_d.designer import ThreeDDesignStudy
 from repro.workloads.suite import WorkloadSuite, default_suite
+
+
+def _pd3d_chunk(
+    study: ThreeDDesignStudy,
+    core_type: str,
+    core_counts: "tuple[int, ...]",
+    llc_mb: float,
+    dies: int,
+) -> "list":
+    return study.sweep(
+        core_type=core_type,
+        core_counts=core_counts,
+        llc_sizes_mb=(llc_mb,),
+        num_dies=dies,
+    )
 
 
 def table_6_1_components(node: TechnologyNode = NODE_40NM) -> "list[dict[str, object]]":
@@ -32,31 +48,46 @@ def table_6_1_components(node: TechnologyNode = NODE_40NM) -> "list[dict[str, ob
 def figure_6_4_pd3d_ooo(
     die_counts: Sequence[int] = (1, 2, 4),
     suite: "WorkloadSuite | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """3D performance density sweep for OoO pods."""
-    return _pd3d_sweep("ooo", die_counts, suite)
+    return _pd3d_sweep("ooo", die_counts, suite, executor)
 
 
 def figure_6_6_pd3d_inorder(
     die_counts: Sequence[int] = (1, 2, 4),
     suite: "WorkloadSuite | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     """3D performance density sweep for in-order pods."""
-    return _pd3d_sweep("inorder", die_counts, suite)
+    return _pd3d_sweep("inorder", die_counts, suite, executor)
 
 
 def _pd3d_sweep(
-    core_type: str, die_counts: Sequence[int], suite: "WorkloadSuite | None"
+    core_type: str,
+    die_counts: Sequence[int],
+    suite: "WorkloadSuite | None",
+    executor: "SweepExecutor | None" = None,
 ) -> "list[dict[str, object]]":
     study = ThreeDDesignStudy(suite=suite)
+    executor = executor or SERIAL_EXECUTOR
+    core_counts = (4, 8, 16, 32, 64, 128)
+    llc_sizes_mb = (2.0, 4.0, 8.0, 16.0, 32.0)
+    # Matches the serial iteration order: dies outer, LLC size middle, cores
+    # inner (each chunk evaluates one (dies, llc) pair across all core counts).
+    chunks = executor.map(
+        _pd3d_chunk,
+        [
+            (study, core_type, core_counts, llc_mb, dies)
+            for dies in die_counts
+            for llc_mb in llc_sizes_mb
+        ],
+    )
     rows = []
-    for dies in die_counts:
-        for point in study.sweep(
-            core_type=core_type,
-            core_counts=(4, 8, 16, 32, 64, 128),
-            llc_sizes_mb=(2.0, 4.0, 8.0, 16.0, 32.0),
-            num_dies=dies,
-        ):
+    for (dies, _), chunk in zip(
+        ((dies, llc) for dies in die_counts for llc in llc_sizes_mb), chunks
+    ):
+        for point in chunk:
             rows.append(
                 {
                     "dies": dies,

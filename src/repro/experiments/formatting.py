@@ -9,7 +9,13 @@ def format_table(rows: Sequence[Mapping[str, object]], title: "str | None" = Non
     """Render a list of row dictionaries as an aligned plain-text table."""
     if not rows:
         return f"{title}\n(no data)" if title else "(no data)"
-    columns = list(rows[0].keys())
+    # Union of all row keys in first-appearance order, so heterogeneous rows
+    # (e.g. a CLI sweep across different parameterizations) all stay visible.
+    columns: "list[str]" = []
+    for row in rows:
+        for key in row.keys():
+            if key not in columns:
+                columns.append(str(key))
     widths = {c: len(str(c)) for c in columns}
     rendered_rows = []
     for row in rows:

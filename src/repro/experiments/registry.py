@@ -1,51 +1,134 @@
-"""Registry mapping experiment ids (table/figure numbers) to their functions."""
+"""Spec catalog mapping experiment ids (table/figure numbers) to their specs.
+
+The catalog replaces the original bare ``{id: callable}`` dict: every artifact
+is an :class:`~repro.runtime.ExperimentSpec` carrying its chapter, kind, and
+description, so callers can enumerate by chapter (``CATALOG.by_chapter(4)``),
+by kind (``CATALOG.by_kind("table")``), or drive everything from the
+``python -m repro`` command line.
+
+:func:`run_experiment` executes one spec through the shared result cache and
+returns an :class:`~repro.runtime.ExperimentResult` envelope.  The envelope
+iterates/indexes as the bare row list, so existing callers keep working; new
+callers read ``.rows``, ``.wall_time_s``, ``.cache_status``, and
+``.provenance``.
+"""
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6
+from repro.runtime import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultCache,
+    SpecCatalog,
+    result_key,
+)
 
-#: Experiment id -> callable returning the table/figure data.
+
+def _spec(
+    experiment_id: str, function: "Callable[..., object]", produces: str
+) -> ExperimentSpec:
+    kind, chapter_str, _ = experiment_id.split("_", 2)
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        chapter=int(chapter_str),
+        kind=kind,
+        function=function,
+        produces=produces,
+    )
+
+
+#: Every table and figure of the paper's evaluation, as a queryable catalog.
+CATALOG = SpecCatalog(
+    [
+        _spec("figure_2_1", chapter2.figure_2_1_application_ipc, "Application IPC on an aggressive OoO core"),
+        _spec("figure_2_2", chapter2.figure_2_2_llc_sensitivity, "Performance vs LLC capacity, normalized to 1 MB"),
+        _spec("figure_2_3", chapter2.figure_2_3_core_scaling, "Per-core and aggregate performance vs core count"),
+        _spec("table_2_1", chapter2.table_2_1_components, "Component area and power estimates"),
+        _spec("table_2_3", chapter2.table_2_3_designs_40nm, "Processor design comparison at 40nm"),
+        _spec("table_2_4", chapter2.table_2_4_designs_20nm, "Processor design comparison at 20nm"),
+        _spec("figure_3_3", chapter3.figure_3_3_model_validation, "Analytic model vs cycle-level simulation"),
+        _spec("figure_3_4", chapter3.figure_3_4_pd_sweep_ooo, "Performance-density sweep for OoO pods"),
+        _spec("figure_3_5", chapter3.figure_3_5_pod_selection, "Crossbar pod sweep and the selected pod"),
+        _spec("figure_3_6", chapter3.figure_3_6_pd_sweep_inorder, "Performance-density sweep for in-order pods"),
+        _spec("table_3_2", chapter3.table_3_2_design_comparison, "Design comparison incl. Scale-Out Processors"),
+        _spec("figure_4_3", chapter4.figure_4_3_snoop_fraction, "Fraction of LLC accesses triggering snoops"),
+        _spec("figure_4_6", chapter4.figure_4_6_noc_performance, "System performance of mesh/fbfly/NOC-Out"),
+        _spec("figure_4_7", chapter4.figure_4_7_noc_area, "NoC area breakdown per topology"),
+        _spec("figure_4_8", chapter4.figure_4_8_area_normalized, "Performance under a fixed NoC area budget"),
+        _spec("table_4_1", chapter4.table_4_1_parameters, "NOC-Out evaluation parameters"),
+        _spec("table_5_1", chapter5.table_5_1_chip_characteristics, "Server chip characteristics"),
+        _spec("table_5_2", chapter5.table_5_2_parameters, "TCO model parameters"),
+        _spec("figure_5_1", chapter5.figures_5_1_5_2_performance_and_tco, "Datacenter performance vs conventional"),
+        _spec("figure_5_2", chapter5.figures_5_1_5_2_performance_and_tco, "Datacenter TCO vs conventional"),
+        _spec("figure_5_3", chapter5.figures_5_3_5_4_efficiency, "Performance/TCO across memory capacities"),
+        _spec("figure_5_4", chapter5.figures_5_3_5_4_efficiency, "Performance/Watt across memory capacities"),
+        _spec("figure_5_5", chapter5.figure_5_5_price_sensitivity, "Performance/TCO vs processor price"),
+        _spec("table_6_1", chapter6.table_6_1_components, "Component budgets for the 3D study"),
+        _spec("table_6_2", chapter6.table_6_2_specifications, "2D vs 3D Scale-Out Processor specifications"),
+        _spec("figure_6_4", chapter6.figure_6_4_pd3d_ooo, "3D performance-density sweep, OoO pods"),
+        _spec("figure_6_5", chapter6.figure_6_5_strategies_ooo, "Fixed-pod vs fixed-distance, OoO pods"),
+        _spec("figure_6_6", chapter6.figure_6_6_pd3d_inorder, "3D performance-density sweep, in-order pods"),
+        _spec("figure_6_7", chapter6.figure_6_7_strategies_inorder, "Fixed-pod vs fixed-distance, in-order pods"),
+    ]
+)
+
+#: Legacy view (experiment id -> callable), kept for backward compatibility.
 EXPERIMENTS: "dict[str, Callable[..., object]]" = {
-    "figure_2_1": chapter2.figure_2_1_application_ipc,
-    "figure_2_2": chapter2.figure_2_2_llc_sensitivity,
-    "figure_2_3": chapter2.figure_2_3_core_scaling,
-    "table_2_1": chapter2.table_2_1_components,
-    "table_2_3": chapter2.table_2_3_designs_40nm,
-    "table_2_4": chapter2.table_2_4_designs_20nm,
-    "figure_3_3": chapter3.figure_3_3_model_validation,
-    "figure_3_4": chapter3.figure_3_4_pd_sweep_ooo,
-    "figure_3_5": chapter3.figure_3_5_pod_selection,
-    "figure_3_6": chapter3.figure_3_6_pd_sweep_inorder,
-    "table_3_2": chapter3.table_3_2_design_comparison,
-    "figure_4_3": chapter4.figure_4_3_snoop_fraction,
-    "figure_4_6": chapter4.figure_4_6_noc_performance,
-    "figure_4_7": chapter4.figure_4_7_noc_area,
-    "figure_4_8": chapter4.figure_4_8_area_normalized,
-    "table_4_1": chapter4.table_4_1_parameters,
-    "table_5_1": chapter5.table_5_1_chip_characteristics,
-    "table_5_2": chapter5.table_5_2_parameters,
-    "figure_5_1": chapter5.figures_5_1_5_2_performance_and_tco,
-    "figure_5_2": chapter5.figures_5_1_5_2_performance_and_tco,
-    "figure_5_3": chapter5.figures_5_3_5_4_efficiency,
-    "figure_5_4": chapter5.figures_5_3_5_4_efficiency,
-    "figure_5_5": chapter5.figure_5_5_price_sensitivity,
-    "table_6_1": chapter6.table_6_1_components,
-    "table_6_2": chapter6.table_6_2_specifications,
-    "figure_6_4": chapter6.figure_6_4_pd3d_ooo,
-    "figure_6_5": chapter6.figure_6_5_strategies_ooo,
-    "figure_6_6": chapter6.figure_6_6_pd3d_inorder,
-    "figure_6_7": chapter6.figure_6_7_strategies_inorder,
+    spec.experiment_id: spec.function for spec in CATALOG
 }
 
+#: Process-wide default cache; add a disk tier by setting ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE = ResultCache.from_env()
 
-def run_experiment(experiment_id: str, **kwargs):
-    """Run one experiment by id (e.g. ``"table_3_2"``) and return its data."""
-    try:
-        function = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
-        ) from None
-    return function(**kwargs)
+
+def run_experiment(
+    experiment_id: str,
+    use_cache: bool = True,
+    cache: "ResultCache | None" = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"table_3_2"``) through the runtime.
+
+    Args:
+        experiment_id: catalog id of the table or figure.
+        use_cache: serve/store the result through the cache (default).
+        cache: cache instance; defaults to the process-wide ``DEFAULT_CACHE``.
+        **kwargs: parameter overrides forwarded to the experiment function.
+
+    Returns:
+        An :class:`ExperimentResult` whose ``data`` is exactly what the
+        experiment function returned (identical rows whether computed or
+        served from the cache).
+    """
+    spec = CATALOG.get(experiment_id)
+    merged = spec.merged_kwargs(kwargs)
+    key = result_key(spec.cache_token, merged)
+    cache = cache if cache is not None else DEFAULT_CACHE
+
+    start = perf_counter()
+    cache_status = "disabled"
+    data = None
+    if use_cache:
+        data = cache.get(key)
+        cache_status = "hit" if data is not None else "miss"
+    if data is None:
+        data = spec.run(**kwargs)
+        if use_cache:
+            cache.put(key, data)
+    wall_time_s = perf_counter() - start
+
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        data=data,
+        provenance={
+            "function": spec.cache_token,
+            "cache_key": key,
+            "kwargs": {name: repr(value) for name, value in sorted(merged.items())},
+        },
+        wall_time_s=wall_time_s,
+        cache_status=cache_status,
+    )

@@ -20,6 +20,7 @@ from repro.noc.topology import NocTopology, TOPOLOGY_BUILDERS
 from repro.noc.traffic import BilateralTrafficGenerator
 from repro.perfmodel.amat import LlcAccessLatency
 from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
+from repro.runtime.executor import SweepExecutor
 from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.suite import WorkloadSuite, default_suite
@@ -48,6 +49,33 @@ class NocSimulationResult:
     max_link_utilization: float
 
 
+def _evaluate_noc_point(
+    study: "PodNocStudy",
+    topology_name: str,
+    workload: WorkloadProfile,
+    link_width_bits: "int | None",
+) -> NocSimulationResult:
+    """Evaluate one (topology, workload) sweep point.
+
+    Module-level so :class:`~repro.runtime.SweepExecutor` can ship it to pool
+    workers; the topology is rebuilt per point (it is a cheap, deterministic
+    description), keeping the serial and parallel paths on identical code.
+    """
+    topology = study.build_topology(topology_name)
+    request_latency, packet_latency, hops, util = study.measure_latency(
+        topology, workload, link_width_bits=link_width_bits
+    )
+    return NocSimulationResult(
+        topology=topology_name,
+        workload=workload.name,
+        average_request_latency=request_latency,
+        average_packet_latency=packet_latency,
+        average_hops=hops,
+        system_ipc=study.system_performance(workload, request_latency),
+        max_link_utilization=util,
+    )
+
+
 class PodNocStudy:
     """Chapter 4 evaluation: a 64-core, 8 MB, 4-channel pod at 32nm (Table 4.1)."""
 
@@ -73,10 +101,7 @@ class PodNocStudy:
     # --------------------------------------------------------------- topology
     def build_topology(self, name: str) -> NocTopology:
         """Build the named topology sized for this pod."""
-        builder = TOPOLOGY_BUILDERS[name.lower()]
-        if name.lower() in ("nocout", "noc-out"):
-            return builder(cores=self.cores)
-        return builder(cores=self.cores)
+        return TOPOLOGY_BUILDERS[name.lower()](cores=self.cores)
 
     # ----------------------------------------------------------- measurements
     def active_cores_for(self, workload: WorkloadProfile) -> int:
@@ -143,31 +168,24 @@ class PodNocStudy:
     def evaluate(
         self, topology_names: Sequence[str] = ("mesh", "fbfly", "nocout"),
         link_width_bits_by_topology: "dict[str, int] | None" = None,
+        executor: "SweepExecutor | None" = None,
     ) -> "list[NocSimulationResult]":
-        """Evaluate every (topology, workload) pair; Figure 4.6's data."""
-        results: "list[NocSimulationResult]" = []
+        """Evaluate every (topology, workload) pair; Figure 4.6's data.
+
+        The (topology x workload) points are independent, so they fan out over
+        ``executor`` (a process pool by default for full-suite sweeps).  Serial
+        and parallel execution run the same per-point worker in the same order
+        and therefore produce identical result lists.
+        """
+        executor = executor or SweepExecutor()
+        points = []
         for name in topology_names:
-            topology = self.build_topology(name)
             width = None
             if link_width_bits_by_topology is not None:
                 width = link_width_bits_by_topology.get(name)
             for workload in self.suite:
-                request_latency, packet_latency, hops, util = self.measure_latency(
-                    topology, workload, link_width_bits=width
-                )
-                ipc = self.system_performance(workload, request_latency)
-                results.append(
-                    NocSimulationResult(
-                        topology=name,
-                        workload=workload.name,
-                        average_request_latency=request_latency,
-                        average_packet_latency=packet_latency,
-                        average_hops=hops,
-                        system_ipc=ipc,
-                        max_link_utilization=util,
-                    )
-                )
-        return results
+                points.append((self, name, workload, width))
+        return executor.map(_evaluate_noc_point, points)
 
     def normalized_performance(
         self,

@@ -1,0 +1,160 @@
+"""Content-addressed result cache: in-memory tier plus optional on-disk tier.
+
+Cache keys are a SHA-256 digest of the computation identity (the experiment
+function's qualified name) and a canonical JSON rendering of its keyword
+arguments.  Dataclasses (workload suites, system configs, technology nodes...)
+canonicalize structurally, so two calls with equal-valued configuration objects
+share a cache entry.  Executors are excluded from the key -- how a sweep is
+scheduled never changes its rows.
+
+The on-disk tier stores JSON when the payload allows it and falls back to
+pickle, under one file per key, so repeated ``python -m repro run`` invocations
+hit the cache across processes.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+from typing import Mapping
+
+#: Environment variable adding a disk tier to the default cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def canonicalize(value: object) -> object:
+    """Reduce ``value`` to deterministic JSON-serializable primitives."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__qualname__,
+            "fields": {
+                f.name: canonicalize(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Mapping):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (set, frozenset)):
+        return sorted(repr(canonicalize(v)) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if callable(value):
+        return f"{getattr(value, '__module__', '?')}.{getattr(value, '__qualname__', repr(value))}"
+    # Iterable containers such as WorkloadSuite canonicalize element-wise.
+    try:
+        return [canonicalize(v) for v in value]  # type: ignore[union-attr]
+    except TypeError:
+        return repr(value)
+
+
+def result_key(cache_token: str, kwargs: "Mapping[str, object]") -> str:
+    """Content address for (computation, canonicalized kwargs).
+
+    Scheduling-only arguments (``SweepExecutor`` instances) are dropped: they
+    change how points are fanned out, never what the rows contain.
+    """
+    from repro.runtime.executor import SweepExecutor
+
+    meaningful = {
+        name: value
+        for name, value in kwargs.items()
+        if not isinstance(value, SweepExecutor)
+    }
+    payload = json.dumps(
+        {"fn": cache_token, "kwargs": canonicalize(meaningful)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Two-tier (memory, optional disk) store of experiment payloads by key."""
+
+    def __init__(self, cache_dir: "str | None" = None):
+        self._memory: "dict[str, object]" = {}
+        self.cache_dir = cache_dir
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    @classmethod
+    def from_env(cls) -> "ResultCache":
+        """Memory-only cache, plus a disk tier when ``REPRO_CACHE_DIR`` is set."""
+        return cls(cache_dir=os.environ.get(CACHE_DIR_ENV) or None)
+
+    # ------------------------------------------------------------------ lookup
+    def get(self, key: str) -> object:
+        """The cached payload for ``key`` (a deep copy), or ``None``."""
+        if key in self._memory:
+            return copy.deepcopy(self._memory[key])
+        if self.cache_dir:
+            payload = self._read_disk(key)
+            if payload is not None:
+                self._memory[key] = payload
+                return copy.deepcopy(payload)
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self.cache_dir is not None and self._read_disk(key) is not None
+        )
+
+    # ------------------------------------------------------------------- store
+    def put(self, key: str, payload: object) -> None:
+        """Store ``payload`` under ``key`` in every tier."""
+        payload = copy.deepcopy(payload)
+        self._memory[key] = payload
+        if self.cache_dir:
+            self._write_disk(key, payload)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier and delete any on-disk entries."""
+        self._memory.clear()
+        if self.cache_dir and os.path.isdir(self.cache_dir):
+            for name in os.listdir(self.cache_dir):
+                if name.endswith((".json", ".pkl")):
+                    os.unlink(os.path.join(self.cache_dir, name))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -------------------------------------------------------------- disk tier
+    def _path(self, key: str, suffix: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}{suffix}")
+
+    def _read_disk(self, key: str) -> object:
+        json_path = self._path(key, ".json")
+        if os.path.exists(json_path):
+            try:
+                with open(json_path, "r", encoding="utf-8") as handle:
+                    return json.load(handle)["payload"]
+            except (ValueError, KeyError, OSError):
+                return None
+        pickle_path = self._path(key, ".pkl")
+        if os.path.exists(pickle_path):
+            try:
+                with open(pickle_path, "rb") as handle:
+                    return pickle.load(handle)
+            except (pickle.UnpicklingError, EOFError, OSError):
+                return None
+        return None
+
+    def _write_disk(self, key: str, payload: object) -> None:
+        try:
+            text = json.dumps({"payload": payload})
+        except (TypeError, ValueError):
+            with open(self._path(key, ".pkl"), "wb") as handle:
+                pickle.dump(payload, handle)
+            return
+        with open(self._path(key, ".json"), "w", encoding="utf-8") as handle:
+            handle.write(text)

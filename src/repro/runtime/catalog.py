@@ -1,0 +1,72 @@
+"""Spec catalog: lookup of experiments by id, chapter, and kind."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.runtime.spec import ExperimentSpec
+
+
+class UnknownExperimentError(KeyError):
+    """Raised for an experiment id the catalog does not know about."""
+
+    def __init__(self, experiment_id: str, known: "Iterable[str]"):
+        super().__init__(
+            f"unknown experiment {experiment_id!r}; known: {sorted(known)}"
+        )
+        self.experiment_id = experiment_id
+
+
+class SpecCatalog:
+    """An ordered, queryable collection of :class:`ExperimentSpec`."""
+
+    def __init__(self, specs: "Iterable[ExperimentSpec]" = ()):
+        self._specs: "dict[str, ExperimentSpec]" = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        """Add a spec; ids must be unique."""
+        if spec.experiment_id in self._specs:
+            raise ValueError(f"duplicate experiment id {spec.experiment_id!r}")
+        self._specs[spec.experiment_id] = spec
+        return spec
+
+    def get(self, experiment_id: str) -> ExperimentSpec:
+        """Look one spec up by id; raises :class:`UnknownExperimentError`."""
+        try:
+            return self._specs[experiment_id]
+        except KeyError:
+            raise UnknownExperimentError(experiment_id, self._specs) from None
+
+    def ids(self) -> "list[str]":
+        return list(self._specs)
+
+    def select(
+        self, chapter: "int | None" = None, kind: "str | None" = None
+    ) -> "list[ExperimentSpec]":
+        """All specs matching the given chapter and/or kind filters."""
+        return [
+            spec
+            for spec in self._specs.values()
+            if (chapter is None or spec.chapter == chapter)
+            and (kind is None or spec.kind == kind)
+        ]
+
+    def by_chapter(self, chapter: int) -> "list[ExperimentSpec]":
+        return self.select(chapter=chapter)
+
+    def by_kind(self, kind: str) -> "list[ExperimentSpec]":
+        return self.select(kind=kind)
+
+    def chapters(self) -> "list[int]":
+        return sorted({spec.chapter for spec in self._specs.values()})
+
+    def __contains__(self, experiment_id: object) -> bool:
+        return experiment_id in self._specs
+
+    def __iter__(self) -> "Iterator[ExperimentSpec]":
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)

@@ -1,0 +1,250 @@
+"""Command-line driver for the experiment runtime (``python -m repro``).
+
+Subcommands:
+
+* ``list`` -- enumerate the catalog, optionally filtered by chapter or kind.
+* ``run`` -- run one or more experiments and print their tables.
+* ``sweep`` -- cross-product parameter sweep over one experiment.
+* ``bench`` -- time every (or selected) experiment with caching off.
+
+``run`` and ``sweep`` accept repeated ``--set key=value`` overrides (values are
+parsed as Python literals when possible); ``sweep`` splits comma-separated
+values into sweep axes.  Results flow through the shared result cache; pass
+``--cache-dir`` to persist them across invocations or ``--no-cache`` to
+disable caching entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import inspect
+import itertools
+import json
+import sys
+from typing import Sequence
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.catalog import UnknownExperimentError
+from repro.runtime.executor import SweepExecutor
+
+
+def _parse_literal(text: str) -> object:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_overrides(pairs: "Sequence[str]") -> "dict[str, object]":
+    overrides: "dict[str, object]" = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        overrides[key.strip()] = _parse_literal(value.strip())
+    return overrides
+
+
+def _split_axis_values(text: str) -> "list[str]":
+    """Split on top-level commas only, so tuple/list literals stay intact."""
+    values, depth, current = [], 0, []
+    for char in text:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            values.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    values.append("".join(current))
+    return [v.strip() for v in values if v.strip()]
+
+
+def _parse_axes(pairs: "Sequence[str]") -> "dict[str, list[object]]":
+    axes: "dict[str, list[object]]" = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=v1,v2,..., got {pair!r}")
+        key, _, values = pair.partition("=")
+        axes[key.strip()] = [_parse_literal(v) for v in _split_axis_values(values)]
+    return axes
+
+
+def _executor_for(args: argparse.Namespace) -> "SweepExecutor | None":
+    if getattr(args, "parallel", False):
+        return SweepExecutor(mode="process", max_workers=getattr(args, "workers", None))
+    if getattr(args, "serial", False):
+        return SweepExecutor(mode="serial")
+    return None
+
+
+def _cache_for(args: argparse.Namespace) -> "ResultCache | None":
+    """The cache selected by the flags; ``None`` means the process default."""
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return ResultCache(cache_dir=args.cache_dir)
+    return None
+
+
+def _run_one(experiment_id: str, args: argparse.Namespace, **extra: object):
+    from repro.experiments.registry import CATALOG, run_experiment
+
+    overrides = dict(_parse_overrides(getattr(args, "set", []) or []))
+    overrides.update(extra)
+    executor = _executor_for(args)
+    if executor is not None:
+        spec = CATALOG.get(experiment_id)
+        if "executor" in inspect.signature(spec.function).parameters:
+            overrides["executor"] = executor
+    return run_experiment(
+        experiment_id,
+        use_cache=not getattr(args, "no_cache", False),
+        cache=_cache_for(args),
+        **overrides,
+    )
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments.formatting import format_table
+    from repro.experiments.registry import CATALOG
+
+    specs = CATALOG.select(chapter=args.chapter, kind=args.kind)
+    if not specs:
+        print("no experiments match the given filters", file=sys.stderr)
+        return 1
+    rows = [
+        {
+            "id": spec.experiment_id,
+            "chapter": spec.chapter,
+            "kind": spec.kind,
+            "produces": spec.produces,
+        }
+        for spec in specs
+    ]
+    print(format_table(rows, title=f"{len(rows)} experiments"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.formatting import format_table
+
+    for experiment_id in args.ids:
+        result = _run_one(experiment_id, args)
+        if args.json:
+            payload = {"experiment": experiment_id, "rows": result.rows}
+            if isinstance(result.data, dict):
+                # Dict-returning experiments (figure_3_5) carry headline values
+                # beyond the sweep rows; keep the full payload machine-readable.
+                payload["data"] = result.data
+            print(json.dumps(payload))
+        else:
+            print(format_table(result.rows, title=experiment_id))
+            print(
+                f"# {experiment_id}: cache={result.cache_status} "
+                f"wall={result.wall_time_s:.3f}s rows={len(result.rows)}"
+            )
+            print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.formatting import format_table
+
+    axes = _parse_axes(args.set or [])
+    if not axes:
+        raise SystemExit("sweep needs at least one --set key=v1,v2,... axis")
+    names = list(axes)
+    combos = list(itertools.product(*(axes[name] for name in names)))
+    rows = []
+    for combo in combos:
+        point = dict(zip(names, combo))
+        sweep_args = argparse.Namespace(**{**vars(args), "set": []})
+        result = _run_one(args.id, sweep_args, **point)
+        for row in result.rows:
+            rows.append({**point, **row})
+    if args.json:
+        print(json.dumps({"experiment": args.id, "axes": axes, "rows": rows}))
+    else:
+        print(format_table(rows, title=f"{args.id} sweep over {', '.join(names)}"))
+        print(f"# {len(combos)} points, {len(rows)} rows")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.formatting import format_table
+    from repro.experiments.registry import CATALOG
+
+    ids = args.ids or CATALOG.ids()
+    rows = []
+    for experiment_id in ids:
+        bench_args = argparse.Namespace(**{**vars(args), "no_cache": True})
+        result = _run_one(experiment_id, bench_args)
+        rows.append(
+            {
+                "id": experiment_id,
+                "wall_s": round(result.wall_time_s, 3),
+                "rows": len(result.rows),
+            }
+        )
+    rows.sort(key=lambda row: row["wall_s"], reverse=True)
+    print(format_table(rows, title="experiment wall-clock cost (cache off)"))
+    return 0
+
+
+# -------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures through the experiment runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list catalogued experiments")
+    p_list.add_argument("--chapter", type=int, default=None, help="filter by chapter (2-6)")
+    p_list.add_argument("--kind", choices=("figure", "table"), default=None, help="filter by kind")
+    p_list.set_defaults(func=_cmd_list)
+
+    def add_run_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                       help="parameter override (repeatable)")
+        p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist cached results under DIR (also honours REPRO_CACHE_DIR)")
+        group = p.add_mutually_exclusive_group()
+        group.add_argument("--parallel", action="store_true",
+                           help="force the process-pool sweep executor")
+        group.add_argument("--serial", action="store_true",
+                           help="force the serial sweep executor")
+        p.add_argument("--workers", type=int, default=None, help="process-pool size")
+        p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    p_run = sub.add_parser("run", help="run experiments and print their tables")
+    p_run.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see `list`)")
+    add_run_flags(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="cross-product parameter sweep of one experiment")
+    p_sweep.add_argument("id", metavar="ID", help="experiment id (see `list`)")
+    add_run_flags(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_bench = sub.add_parser("bench", help="time experiments with caching off")
+    p_bench.add_argument("ids", nargs="*", metavar="ID", help="experiment ids (default: all)")
+    add_run_flags(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except UnknownExperimentError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2

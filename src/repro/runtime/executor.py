@@ -1,0 +1,107 @@
+"""Sweep execution: fan independent design points out over a process pool.
+
+Every chapter repeats the same shape of loop -- evaluate a cross product of
+(workload, configuration, topology, ...) points where each point is independent
+of the others.  :class:`SweepExecutor` runs such a point list either serially
+or on a :class:`concurrent.futures.ProcessPoolExecutor`, preserving submission
+order in both modes so results are identical point-for-point.
+
+Point functions must be module-level (picklable) and receive only picklable
+arguments; all of the repo's model/config/workload dataclasses qualify.
+
+Mode selection:
+
+* ``mode="serial"`` / ``mode="process"`` force the backend.
+* ``mode="auto"`` (default) consults the ``REPRO_EXECUTOR`` environment
+  variable if set, otherwise uses a process pool only when the sweep has at
+  least ``min_parallel_points`` points and more than one CPU is available --
+  small or cheap sweeps are not worth the pool startup.
+* Pool creation failures (restricted sandboxes without working semaphores)
+  fall back to the serial path, which always works.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable
+
+#: Environment variable forcing the backend for ``mode="auto"`` executors.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+#: Environment variable capping pool size for ``max_workers=None`` executors.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+_MODES = ("auto", "serial", "process")
+
+
+class SweepExecutor:
+    """Runs a list of independent sweep points, serially or in parallel."""
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        max_workers: "int | None" = None,
+        min_parallel_points: int = 4,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.max_workers = max_workers
+        self.min_parallel_points = min_parallel_points
+
+    # ---------------------------------------------------------------- planning
+    def resolved_mode(self, num_points: int) -> str:
+        """The backend ("serial" or "process") used for a sweep of this size."""
+        mode = self.mode
+        if mode == "auto":
+            forced = os.environ.get(EXECUTOR_ENV, "").strip().lower()
+            if forced in ("serial", "process"):
+                mode = forced
+        if mode == "auto":
+            parallel_worthwhile = (
+                num_points >= self.min_parallel_points and (os.cpu_count() or 1) > 1
+            )
+            mode = "process" if parallel_worthwhile else "serial"
+        if mode == "process" and num_points <= 1:
+            mode = "serial"
+        return mode
+
+    def _pool_size(self, num_points: int) -> int:
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        env = os.environ.get(MAX_WORKERS_ENV, "").strip()
+        if env.isdigit() and int(env) > 0:
+            return int(env)
+        return max(1, min(num_points, os.cpu_count() or 1))
+
+    # --------------------------------------------------------------- execution
+    def map(
+        self,
+        fn: "Callable[..., object]",
+        points: "Iterable[tuple | object]",
+    ) -> "list[object]":
+        """``[fn(*point) for point in points]``, possibly in parallel.
+
+        Each point is an argument tuple (bare values are treated as 1-tuples).
+        Results come back in submission order regardless of backend, so serial
+        and parallel execution of a deterministic ``fn`` produce identical
+        lists.
+        """
+        arglists: "list[tuple]" = [
+            point if isinstance(point, tuple) else (point,) for point in points
+        ]
+        if self.resolved_mode(len(arglists)) == "serial":
+            return [fn(*args) for args in arglists]
+        try:
+            pool = ProcessPoolExecutor(max_workers=self._pool_size(len(arglists)))
+        except (OSError, PermissionError):
+            # No usable multiprocessing primitives in this environment; point
+            # failures inside a working pool still propagate normally.
+            return [fn(*args) for args in arglists]
+        with pool:
+            futures = [pool.submit(fn, *args) for args in arglists]
+            return [future.result() for future in futures]
+
+
+#: Serial executor for cheap analytic sweeps where a pool never pays off.
+SERIAL_EXECUTOR = SweepExecutor(mode="serial")

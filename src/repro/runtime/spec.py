@@ -1,0 +1,111 @@
+"""Experiment specifications and the typed result envelope.
+
+An :class:`ExperimentSpec` describes one reproducible artifact of the paper (a
+table or a figure): which chapter it belongs to, the function that regenerates
+its data, the default parameters, and a one-line description of what it
+produces.  Running a spec yields an :class:`ExperimentResult` -- the raw data
+plus provenance (which function ran, with which arguments), the wall-clock cost,
+and whether the result came from the cache.
+
+``ExperimentResult`` behaves like a read-only sequence of row dictionaries so
+callers that used to receive the bare row list keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one table/figure experiment.
+
+    Attributes:
+        experiment_id: registry id, e.g. ``"figure_4_6"`` or ``"table_3_2"``.
+        chapter: evaluation chapter the artifact belongs to (2-6).
+        kind: ``"figure"`` or ``"table"``.
+        function: callable that regenerates the data.
+        parameters: default keyword arguments applied before caller overrides.
+        produces: one-line description of the artifact.
+    """
+
+    experiment_id: str
+    chapter: int
+    kind: str
+    function: Callable[..., object]
+    parameters: Mapping[str, object] = field(default_factory=dict)
+    produces: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("figure", "table"):
+            raise ValueError(f"kind must be 'figure' or 'table', got {self.kind!r}")
+
+    @property
+    def cache_token(self) -> str:
+        """Identity of the underlying computation, shared by aliased specs.
+
+        Figures 5.1/5.2 (and 5.3/5.4) are produced by one function; keying the
+        cache on the function rather than the experiment id lets the shared
+        computation run once.
+        """
+        return f"{self.function.__module__}.{self.function.__qualname__}"
+
+    def merged_kwargs(self, overrides: "Mapping[str, object] | None" = None) -> "dict[str, object]":
+        """Spec defaults overlaid with caller overrides."""
+        merged = dict(self.parameters)
+        if overrides:
+            merged.update(overrides)
+        return merged
+
+    def run(self, **overrides: object) -> object:
+        """Execute the experiment function with defaults + overrides."""
+        return self.function(**self.merged_kwargs(overrides))
+
+
+@dataclass
+class ExperimentResult:
+    """Typed envelope returned by :func:`repro.experiments.run_experiment`.
+
+    Attributes:
+        experiment_id: id of the spec that produced the data.
+        data: raw return value of the experiment function (usually a list of
+            row dicts; ``figure_3_5`` returns a dict with a ``"sweep"`` key).
+        provenance: how the data was produced (function, kwargs, cache key).
+        wall_time_s: wall-clock seconds spent producing (or fetching) the data.
+        cache_status: ``"miss"`` (computed and stored), ``"hit"`` (served from
+            the cache), or ``"disabled"`` (computed with caching off).
+    """
+
+    experiment_id: str
+    data: object
+    provenance: "dict[str, object]" = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    cache_status: str = "disabled"
+
+    @property
+    def rows(self) -> "list[dict[str, object]]":
+        """The data normalized to a list of row dictionaries."""
+        if isinstance(self.data, dict):
+            sweep = self.data.get("sweep")
+            if isinstance(sweep, list):
+                return sweep
+            return [self.data]
+        if isinstance(self.data, list):
+            return self.data
+        return [{"value": self.data}]
+
+    @property
+    def cached(self) -> bool:
+        return self.cache_status == "hit"
+
+    # Sequence-style delegation so legacy callers can keep treating the result
+    # of run_experiment as the bare row list.
+    def __iter__(self) -> "Iterator[dict[str, object]]":
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index: "int | slice") -> Any:
+        return self.rows[index]

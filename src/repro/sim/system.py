@@ -8,6 +8,7 @@ rates, snoop fractions, and memory traffic.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 
@@ -89,7 +90,12 @@ class SimulatedSystem:
         return (line // self.num_banks) * self._line_bytes + (address % self._line_bytes)
 
     def _channel_for(self, address: int) -> int:
-        return (address // self._line_bytes) % len(self.channels)
+        # Interleave channels on the line bits above the bank-select bits; using
+        # the same low bits as _bank_for would tie channel choice to bank choice
+        # (e.g. with channels dividing banks, each bank's lines would all land
+        # on one channel), serializing that bank's misses behind one channel.
+        line = address // self._line_bytes
+        return (line // self.num_banks) % len(self.channels)
 
     # ------------------------------------------------------------ LLC servicing
     def llc_request(
@@ -177,8 +183,6 @@ class SimulatedSystem:
         # Interleave the cores in global time order: always advance the core with
         # the earliest local clock, so shared bank/channel contention state sees
         # requests in (approximately) the order concurrent hardware would.
-        import heapq
-
         heap: "list[tuple[float, int]]" = [(0.0, c) for c in range(len(cores))]
         heapq.heapify(heap)
         while heap:

@@ -1,0 +1,110 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.runtime.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_list_all(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        assert "figure_4_6" in out and "table_3_2" in out
+        assert "29 experiments" in out
+
+    def test_list_filters(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--chapter", "4", "--kind", "table")
+        assert code == 0
+        assert "table_4_1" in out
+        assert "figure_4_6" not in out
+
+    def test_list_no_match(self, capsys):
+        code, _, err = run_cli(capsys, "list", "--chapter", "9")
+        assert code == 1
+        assert "no experiments" in err
+
+
+class TestRun:
+    def test_run_prints_table_and_provenance(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "table_4_1")
+        assert code == 0
+        assert "link_width_bits" in out
+        assert "# table_4_1: cache=" in out
+
+    def test_run_json(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "table_5_2", "--json", "--no-cache")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["experiment"] == "table_5_2"
+        assert any(row["parameter"] == "pue" for row in payload["rows"])
+
+    def test_run_with_overrides(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "figure_2_2", "--set", "llc_sizes_mb=(1,4)", "--json", "--no-cache"
+        )
+        assert code == 0
+        rows = json.loads(out)["rows"]
+        assert set(rows[0]) == {"workload", "1MB", "4MB"}
+
+    def test_run_unknown_id(self, capsys):
+        code, _, err = run_cli(capsys, "run", "figure_9_9")
+        assert code == 2
+        assert "unknown experiment" in err
+
+    def test_run_disk_cache_hits_across_invocations(self, capsys, tmp_path):
+        argv = ("run", "table_5_2", "--cache-dir", str(tmp_path))
+        _, first, _ = run_cli(capsys, *argv)
+        _, second, _ = run_cli(capsys, *argv)
+        assert "cache=miss" in first
+        assert "cache=hit" in second
+
+    def test_run_identical_rows_to_library_call(self, capsys):
+        from repro.experiments.registry import run_experiment
+
+        code, out, _ = run_cli(capsys, "run", "table_4_1", "--json", "--no-cache")
+        assert code == 0
+        assert json.loads(out)["rows"] == run_experiment("table_4_1", use_cache=False).rows
+
+
+class TestSweep:
+    def test_sweep_cross_product(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "figure_2_2",
+            "--set", "llc_sizes_mb=(1,4)",
+            "--set", "cores=2,4",
+            "--json", "--no-cache",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert sorted({row["cores"] for row in payload["rows"]}) == [2, 4]
+
+    def test_sweep_rows_tagged_with_point(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "figure_2_2", "--set", "llc_sizes_mb=(1,4),(1,8)", "--json", "--no-cache",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        values = sorted(tuple(row["llc_sizes_mb"]) for row in payload["rows"])
+        assert set(values) == {(1, 4), (1, 8)}
+
+    def test_sweep_requires_axis(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "sweep", "table_4_1")
+
+
+class TestBench:
+    def test_bench_selected(self, capsys):
+        code, out, _ = run_cli(capsys, "bench", "table_2_1", "table_5_2")
+        assert code == 0
+        assert "wall_s" in out
+        assert "table_2_1" in out and "table_5_2" in out

@@ -273,3 +273,24 @@ class TestSimulatedSystem:
         config = SystemConfig(cores=2, llc_capacity_mb=2)
         with pytest.raises(ValueError):
             SimulatedSystem(workload, config).run(0)
+
+    def test_channel_interleaving_decorrelated_from_banks(self):
+        # Regression: channel selection used the same low line-address bits as
+        # bank selection, so every line of a given bank hit one channel.  Lines
+        # mapping to any single bank must now spread across all channels.
+        workload = get_workload("Web Search")
+        config = SystemConfig(cores=16, core_type="ooo", llc_capacity_mb=4, interconnect="crossbar")
+        system = SimulatedSystem(workload, config, memory_channels=2, seed=3)
+        assert len(system.channels) == 2 and system.num_banks % 2 == 0
+        for bank in range(system.num_banks):
+            lines = [line for line in range(512) if system._bank_for(line * 64) == bank]
+            channels = {system._channel_for(line * 64) for line in lines}
+            assert channels == set(range(len(system.channels)))
+
+    def test_memory_traffic_spreads_across_channels(self):
+        # End to end: a cold run's DRAM requests must land on every channel.
+        workload = get_workload("Web Search")
+        config = SystemConfig(cores=16, core_type="ooo", llc_capacity_mb=1, interconnect="crossbar")
+        system = SimulatedSystem(workload, config, memory_channels=2, seed=3)
+        system.run(2000, warmup=False)
+        assert all(channel.requests > 0 for channel in system.channels)
