@@ -1,0 +1,23 @@
+"""Benchmark: service-level load-latency curve for a scale-out cluster.
+
+Beyond-paper study: docs/service.md describes the queueing model and its
+calibration from the chip-level performance metrics.
+"""
+
+from repro.experiments import service as experiment_module
+
+from _harness import run_and_print
+
+
+def test_service_latency_sweep(benchmark):
+    """Load-latency curve: p99 rises with offered load and diverges at saturation."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.service_latency_sweep,
+        "Service study: cluster load-latency curve",
+        **{'utilizations': (0.5, 0.8, 0.95, 1.1), 'num_requests': 4000},
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    p99s = [r['p99_ms'] for r in rows]
+    assert p99s == sorted(p99s)
+    assert p99s[-1] > p99s[0]

@@ -1,0 +1,23 @@
+"""Benchmark: SLA-driven cluster sizing across the server-chip designs.
+
+Beyond-paper study: combines the Erlang-C queueing model with the Chapter 5
+TCO machinery to cost each design at a fixed QPS / p99 target.
+"""
+
+from repro.experiments import service as experiment_module
+
+from _harness import run_and_print
+
+
+def test_service_cluster_sizing(benchmark):
+    """Cluster sizing: scale-out designs serve the QPS target far cheaper."""
+    result = run_and_print(
+        benchmark,
+        experiment_module.service_cluster_sizing,
+        "Service study: SLA-driven cluster sizing",
+    )
+    rows = result["sweep"] if isinstance(result, dict) else result
+    by_design = {r['design']: r for r in rows}
+    assert by_design['Scale-Out (OoO)']['servers'] < by_design['Conventional']['servers']
+    assert by_design['Scale-Out (OoO)']['monthly_tco_usd'] < by_design['Conventional']['monthly_tco_usd']
+    assert all(r['p99_ms'] <= r['sla_p99_ms'] for r in rows)

@@ -59,6 +59,7 @@ def figure_4_3_snoop_fraction(
                 "workload": workload.name,
                 "snoop_fraction_percent": round(stats.snoop_fraction * 100.0, 2),
                 "profile_percent": round(workload.snoop_fraction * 100.0, 2),
+                "network_latency_avg": round(stats.network_latency_avg, 2),
             }
         )
     rows.append(
@@ -67,6 +68,9 @@ def figure_4_3_snoop_fraction(
             "snoop_fraction_percent": round(sum(measured) / len(measured) * 100.0, 2),
             "profile_percent": round(
                 sum(w.snoop_fraction for w in suite) / len(suite) * 100.0, 2
+            ),
+            "network_latency_avg": round(
+                sum(s.network_latency_avg for s in stats_list) / len(stats_list), 2
             ),
         }
     )

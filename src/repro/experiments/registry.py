@@ -18,7 +18,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Callable
 
-from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6
+from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6, service
 from repro.runtime import (
     ExperimentResult,
     ExperimentSpec,
@@ -29,13 +29,33 @@ from repro.runtime import (
 
 
 def _spec(
-    experiment_id: str, function: "Callable[..., object]", produces: str
+    experiment_id: str,
+    function: "Callable[..., object]",
+    produces: str,
+    version: int = 1,
 ) -> ExperimentSpec:
     kind, chapter_str, _ = experiment_id.split("_", 2)
     return ExperimentSpec(
         experiment_id=experiment_id,
         chapter=int(chapter_str),
         kind=kind,
+        function=function,
+        produces=produces,
+        version=version,
+    )
+
+
+#: Chapter number used for beyond-paper studies (the paper evaluates 2-6).
+SERVICE_CHAPTER = 7
+
+
+def _study(
+    experiment_id: str, function: "Callable[..., object]", produces: str
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        chapter=SERVICE_CHAPTER,
+        kind="study",
         function=function,
         produces=produces,
     )
@@ -55,7 +75,8 @@ CATALOG = SpecCatalog(
         _spec("figure_3_5", chapter3.figure_3_5_pod_selection, "Crossbar pod sweep and the selected pod"),
         _spec("figure_3_6", chapter3.figure_3_6_pd_sweep_inorder, "Performance-density sweep for in-order pods"),
         _spec("table_3_2", chapter3.table_3_2_design_comparison, "Design comparison incl. Scale-Out Processors"),
-        _spec("figure_4_3", chapter4.figure_4_3_snoop_fraction, "Fraction of LLC accesses triggering snoops"),
+        # version=2: rows gained the network_latency_avg column.
+        _spec("figure_4_3", chapter4.figure_4_3_snoop_fraction, "Fraction of LLC accesses triggering snoops", version=2),
         _spec("figure_4_6", chapter4.figure_4_6_noc_performance, "System performance of mesh/fbfly/NOC-Out"),
         _spec("figure_4_7", chapter4.figure_4_7_noc_area, "NoC area breakdown per topology"),
         _spec("figure_4_8", chapter4.figure_4_8_area_normalized, "Performance under a fixed NoC area budget"),
@@ -73,6 +94,9 @@ CATALOG = SpecCatalog(
         _spec("figure_6_5", chapter6.figure_6_5_strategies_ooo, "Fixed-pod vs fixed-distance, OoO pods"),
         _spec("figure_6_6", chapter6.figure_6_6_pd3d_inorder, "3D performance-density sweep, in-order pods"),
         _spec("figure_6_7", chapter6.figure_6_7_strategies_inorder, "Fixed-pod vs fixed-distance, in-order pods"),
+        _study("service_latency_sweep", service.service_latency_sweep, "Load-latency curve (p50/p95/p99) for a service cluster"),
+        _study("service_policy_comparison", service.service_policy_comparison, "Load-balancing policies head-to-head at equal load"),
+        _study("service_cluster_sizing", service.service_cluster_sizing, "Servers and monthly TCO per design for a QPS target at a p99 SLA"),
     ]
 )
 

@@ -108,6 +108,26 @@ def _run_one(experiment_id: str, args: argparse.Namespace, **extra: object):
     )
 
 
+def _envelope(result) -> "dict[str, object]":
+    """Full machine-readable view of an ``ExperimentResult``.
+
+    Carries the provenance, wall time, and cache status alongside the rows so
+    scripts and CI can consume runs without parsing tables.
+    """
+    payload: "dict[str, object]" = {
+        "experiment": result.experiment_id,
+        "rows": result.rows,
+        "provenance": result.provenance,
+        "wall_time_s": round(result.wall_time_s, 6),
+        "cache_status": result.cache_status,
+    }
+    if isinstance(result.data, dict):
+        # Dict-returning experiments (figure_3_5) carry headline values beyond
+        # the sweep rows; keep the full payload machine-readable.
+        payload["data"] = result.data
+    return payload
+
+
 # ------------------------------------------------------------------ commands
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments.formatting import format_table
@@ -136,12 +156,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for experiment_id in args.ids:
         result = _run_one(experiment_id, args)
         if args.json:
-            payload = {"experiment": experiment_id, "rows": result.rows}
-            if isinstance(result.data, dict):
-                # Dict-returning experiments (figure_3_5) carry headline values
-                # beyond the sweep rows; keep the full payload machine-readable.
-                payload["data"] = result.data
-            print(json.dumps(payload))
+            print(json.dumps(_envelope(result)))
         else:
             print(format_table(result.rows, title=experiment_id))
             print(
@@ -161,14 +176,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     names = list(axes)
     combos = list(itertools.product(*(axes[name] for name in names)))
     rows = []
+    envelopes = []
     for combo in combos:
         point = dict(zip(names, combo))
         sweep_args = argparse.Namespace(**{**vars(args), "set": []})
         result = _run_one(args.id, sweep_args, **point)
+        envelopes.append({"point": point, **_envelope(result)})
         for row in result.rows:
             rows.append({**point, **row})
     if args.json:
-        print(json.dumps({"experiment": args.id, "axes": axes, "rows": rows}))
+        print(json.dumps(
+            {"experiment": args.id, "axes": axes, "rows": rows, "points": envelopes}
+        ))
     else:
         print(format_table(rows, title=f"{args.id} sweep over {', '.join(names)}"))
         print(f"# {len(combos)} points, {len(rows)} rows")
@@ -205,8 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list catalogued experiments")
-    p_list.add_argument("--chapter", type=int, default=None, help="filter by chapter (2-6)")
-    p_list.add_argument("--kind", choices=("figure", "table"), default=None, help="filter by kind")
+    p_list.add_argument("--chapter", type=int, default=None,
+                        help="filter by chapter (2-6; 7 = beyond-paper service studies)")
+    p_list.add_argument("--kind", choices=("figure", "table", "study"), default=None,
+                        help="filter by kind")
     p_list.set_defaults(func=_cmd_list)
 
     def add_run_flags(p: argparse.ArgumentParser) -> None:

@@ -23,11 +23,15 @@ class ExperimentSpec:
 
     Attributes:
         experiment_id: registry id, e.g. ``"figure_4_6"`` or ``"table_3_2"``.
-        chapter: evaluation chapter the artifact belongs to (2-6).
-        kind: ``"figure"`` or ``"table"``.
+        chapter: evaluation chapter the artifact belongs to (2-6; beyond-paper
+            studies use 7).
+        kind: ``"figure"`` or ``"table"`` for the paper's artifacts, ``"study"``
+            for beyond-paper experiments (e.g. the service-level studies).
         function: callable that regenerates the data.
         parameters: default keyword arguments applied before caller overrides.
         produces: one-line description of the artifact.
+        version: bump when the experiment's output schema changes, so stale
+            on-disk cache entries written by older code stop matching.
     """
 
     experiment_id: str
@@ -36,10 +40,13 @@ class ExperimentSpec:
     function: Callable[..., object]
     parameters: Mapping[str, object] = field(default_factory=dict)
     produces: str = ""
+    version: int = 1
+
+    KINDS = ("figure", "table", "study")
 
     def __post_init__(self) -> None:
-        if self.kind not in ("figure", "table"):
-            raise ValueError(f"kind must be 'figure' or 'table', got {self.kind!r}")
+        if self.kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {self.kind!r}")
 
     @property
     def cache_token(self) -> str:
@@ -47,9 +54,13 @@ class ExperimentSpec:
 
         Figures 5.1/5.2 (and 5.3/5.4) are produced by one function; keying the
         cache on the function rather than the experiment id lets the shared
-        computation run once.
+        computation run once.  Version 1 keeps the historical token so existing
+        caches stay valid; later versions salt the token to shed stale entries.
         """
-        return f"{self.function.__module__}.{self.function.__qualname__}"
+        token = f"{self.function.__module__}.{self.function.__qualname__}"
+        if self.version != 1:
+            token += f"@v{self.version}"
+        return token
 
     def merged_kwargs(self, overrides: "Mapping[str, object] | None" = None) -> "dict[str, object]":
         """Spec defaults overlaid with caller overrides."""

@@ -1,0 +1,120 @@
+"""Latency statistics: means, percentiles, and SLA checks.
+
+A :class:`LatencyStats` wraps one set of per-request latency samples and
+reports the metrics the service experiments care about -- mean, median, p95,
+p99 -- plus an SLA predicate.  Percentiles use linear interpolation between
+order statistics (the same convention as ``statistics.quantiles`` with
+``method="inclusive"``), so small sample sets behave sensibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a set of per-request latencies (seconds)."""
+
+    samples: "tuple[float, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("LatencyStats needs at least one sample")
+
+    @cached_property
+    def _ordered(self) -> "list[float]":
+        # Sorted once, shared by every percentile query on this instance.
+        return sorted(self.samples)
+
+    @classmethod
+    def from_iterable(cls, samples) -> "LatencyStats":
+        return cls(samples=tuple(samples))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def max_s(self) -> float:
+        return max(self.samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at the given quantile (``fraction`` in [0, 1])."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        ordered = self._ordered
+        if len(ordered) == 1:
+            return ordered[0]
+        position = fraction * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(0.99)
+
+    def meets_sla(self, p99_target_s: float) -> bool:
+        """Whether the p99 latency stays within the SLA target."""
+        return self.p99_s <= p99_target_s
+
+    def summary(self, scale: float = 1e3) -> "dict[str, float]":
+        """Headline metrics as a dict (milliseconds by default)."""
+        return {
+            "mean": self.mean_s * scale,
+            "p50": self.p50_s * scale,
+            "p95": self.p95_s * scale,
+            "p99": self.p99_s * scale,
+            "max": self.max_s * scale,
+        }
+
+
+@dataclass
+class LatencyCollector:
+    """Accumulates per-request latencies during a cluster simulation.
+
+    Requests arriving during the warmup prefix are simulated but excluded from
+    the reported statistics, so the measured window starts from a loaded (not
+    empty) cluster.
+    """
+
+    warmup_requests: int = 0
+    _samples: "list[float]" = field(default_factory=list)
+    _per_server: "dict[int, int]" = field(default_factory=dict)
+
+    def record(self, request_index: int, server_id: int, latency_s: float) -> None:
+        """Record one completed request."""
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if request_index < self.warmup_requests:
+            return
+        self._samples.append(latency_s)
+        self._per_server[server_id] = self._per_server.get(server_id, 0) + 1
+
+    @property
+    def measured(self) -> int:
+        """Completed requests inside the measurement window."""
+        return len(self._samples)
+
+    def stats(self) -> LatencyStats:
+        """Statistics over the measured (post-warmup) requests."""
+        return LatencyStats.from_iterable(self._samples)
+
+    def per_server_counts(self) -> "dict[int, int]":
+        """Measured request count per server (load-balance fairness)."""
+        return dict(self._per_server)

@@ -1,0 +1,91 @@
+"""Per-server request queues with parallel service units.
+
+A :class:`RequestServer` is one FCFS queue feeding ``parallelism`` identical
+service units -- a G/G/k station.  The parallelism is derived from the chip
+organization (usable cores per server, see
+:mod:`repro.service.calibration`); requests beyond the free units wait in an
+unbounded FIFO queue, matching the open-loop arrival model.
+
+Servers are driven by the shared :class:`repro.sim.engine.EventQueue`; the
+event time unit here is *seconds* rather than cycles (the engine is agnostic).
+Service times are pre-attached to requests at arrival-generation time so that
+simulations at different loads with the same seed reuse identical per-request
+work -- the common-random-numbers structure behind monotone load sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim.engine import EventQueue
+from repro.service.latency import LatencyCollector
+
+
+@dataclass(frozen=True)
+class Request:
+    """One user request.
+
+    Attributes:
+        index: arrival sequence number (0-based).
+        arrival_s: absolute arrival time in seconds.
+        service_s: work the request costs one service unit, in seconds.
+    """
+
+    index: int
+    arrival_s: float
+    service_s: float
+
+
+class RequestServer:
+    """FCFS queue in front of ``parallelism`` parallel service units."""
+
+    def __init__(
+        self,
+        server_id: int,
+        parallelism: int,
+        engine: EventQueue,
+        collector: LatencyCollector,
+    ):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.server_id = server_id
+        self.parallelism = parallelism
+        self.engine = engine
+        self.collector = collector
+        self.queue: "deque[Request]" = deque()
+        self.busy_units = 0
+        self.completed = 0
+        self.busy_time_s = 0.0
+
+    @property
+    def backlog(self) -> int:
+        """Requests on this server (queued plus in service); what balancers read."""
+        return len(self.queue) + self.busy_units
+
+    def offer(self, request: Request) -> None:
+        """Accept an arriving request: start service or enqueue."""
+        if self.busy_units < self.parallelism:
+            self._start(request)
+        else:
+            self.queue.append(request)
+
+    def _start(self, request: Request) -> None:
+        self.busy_units += 1
+        self.engine.schedule(request.service_s, lambda: self._complete(request))
+
+    def _complete(self, request: Request) -> None:
+        self.busy_units -= 1
+        self.completed += 1
+        self.busy_time_s += request.service_s
+        self.collector.record(
+            request.index, self.server_id, self.engine.now - request.arrival_s
+        )
+        if self.queue:
+            self._start(self.queue.popleft())
+
+    def utilization(self, duration_s: float) -> float:
+        """Fraction of unit-time spent serving over ``duration_s``."""
+        if duration_s <= 0:
+            return 0.0
+        return self.busy_time_s / (duration_s * self.parallelism)

@@ -72,8 +72,13 @@ class SimulationStats:
         return self.llc_misses / self.instructions * 1000.0
 
     @property
-    def average_network_latency(self) -> float:
-        """Average one-way network latency per LLC access."""
+    def network_latency_avg(self) -> float:
+        """Average one-way network latency per LLC access (zero when idle)."""
         if self.llc_accesses == 0:
             return 0.0
         return self.network_latency_cycles_total / self.llc_accesses
+
+    @property
+    def average_network_latency(self) -> float:
+        """Alias of :attr:`network_latency_avg` kept for older callers."""
+        return self.network_latency_avg

@@ -65,6 +65,19 @@ class DatacenterDesign:
         self.suite = suite or default_suite()
         self.tco_model = TcoModel(params)
 
+    def build_server(self, chip: ScaleOutChip, memory_gb: int = 64) -> ServerDesign:
+        """The 1U server built around ``chip`` under this design's TCO parameters.
+
+        Shared by the datacenter evaluation and the service-level cluster sizer
+        so both layers agree on sockets per server and rack packing.
+        """
+        return ServerDesign(
+            chip=chip,
+            chip_performance=chip.performance(self.model, self.suite),
+            config=ServerConfig(memory_gb=memory_gb),
+            params=self.params,
+        )
+
     def evaluate(
         self,
         chip: ScaleOutChip,
@@ -73,18 +86,12 @@ class DatacenterDesign:
         volume_units: int = 200_000,
     ) -> DatacenterResult:
         """Evaluate the datacenter built from ``chip``-based servers."""
-        chip_performance = chip.performance(self.model, self.suite)
         price = (
             processor_price
             if processor_price is not None
             else self.pricing.price(chip.name, chip.die_area_mm2, volume_units)
         )
-        server = ServerDesign(
-            chip=chip,
-            chip_performance=chip_performance,
-            config=ServerConfig(memory_gb=memory_gb),
-            params=self.params,
-        )
+        server = self.build_server(chip, memory_gb=memory_gb)
         servers_per_rack = server.servers_per_rack()
         rack_power = (
             servers_per_rack * server.server_power_w + self.params.network_gear_power_w

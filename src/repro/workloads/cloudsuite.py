@@ -97,6 +97,7 @@ DATA_SERVING = WorkloadProfile(
     instruction_footprint_kb=1024,
     dataset_footprint_mb=2048,
     latency_sensitive=True,
+    instructions_per_request=600_000.0,
 )
 
 MAPREDUCE_C = WorkloadProfile(
@@ -113,6 +114,7 @@ MAPREDUCE_C = WorkloadProfile(
     instruction_footprint_kb=512,
     dataset_footprint_mb=4096,
     latency_sensitive=False,
+    instructions_per_request=8_000_000.0,
 )
 
 MAPREDUCE_W = WorkloadProfile(
@@ -129,6 +131,7 @@ MAPREDUCE_W = WorkloadProfile(
     instruction_footprint_kb=384,
     dataset_footprint_mb=4096,
     latency_sensitive=False,
+    instructions_per_request=6_000_000.0,
 )
 
 MEDIA_STREAMING = WorkloadProfile(
@@ -145,6 +148,7 @@ MEDIA_STREAMING = WorkloadProfile(
     instruction_footprint_kb=320,
     dataset_footprint_mb=8192,
     latency_sensitive=True,
+    instructions_per_request=1_200_000.0,
 )
 
 SAT_SOLVER = WorkloadProfile(
@@ -162,6 +166,7 @@ SAT_SOLVER = WorkloadProfile(
     instruction_footprint_kb=256,
     dataset_footprint_mb=1024,
     latency_sensitive=False,
+    instructions_per_request=25_000_000.0,
 )
 
 WEB_FRONTEND = WorkloadProfile(
@@ -178,6 +183,7 @@ WEB_FRONTEND = WorkloadProfile(
     instruction_footprint_kb=1536,
     dataset_footprint_mb=1024,
     latency_sensitive=True,
+    instructions_per_request=2_500_000.0,
 )
 
 WEB_SEARCH = WorkloadProfile(
@@ -195,6 +201,7 @@ WEB_SEARCH = WorkloadProfile(
     instruction_footprint_kb=2048,
     dataset_footprint_mb=2048,
     latency_sensitive=True,
+    instructions_per_request=4_000_000.0,
 )
 
 #: All seven workloads in the paper's canonical presentation order.

@@ -80,6 +80,9 @@ class WorkloadProfile:
         dataset_footprint_mb: per-core dataset shard touched by the trace
             generator (far larger than any LLC).
         latency_sensitive: True for workloads with tight response-time targets.
+        instructions_per_request: dynamic instructions one user request costs on
+            a single core, used by the service-level queueing model to convert
+            per-core IPC into requests per second.
     """
 
     name: str
@@ -95,10 +98,13 @@ class WorkloadProfile:
     instruction_footprint_kb: int = 512
     dataset_footprint_mb: int = 512
     latency_sensitive: bool = True
+    instructions_per_request: float = 2_000_000.0
 
     def __post_init__(self) -> None:
         if self.l1i_mpki < 0 or self.l1d_mpki < 0:
             raise ValueError("L1 MPKI values must be non-negative")
+        if self.instructions_per_request <= 0:
+            raise ValueError("instructions_per_request must be positive")
         if not 0.0 <= self.snoop_fraction <= 1.0:
             raise ValueError("snoop_fraction must be within [0, 1]")
         if not 0.0 <= self.dirty_writeback_fraction <= 1.0:

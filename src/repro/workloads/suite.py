@@ -73,8 +73,14 @@ class WorkloadSuite:
     def geomean(self, metric: Callable[[WorkloadProfile], float]) -> float:
         """Geometric mean of ``metric`` across the suite (values must be positive)."""
         values = [metric(w) for w in self.workloads]
-        if any(v <= 0 for v in values):
-            raise ValueError("geometric mean requires positive values")
+        offenders = {
+            w.name: v for w, v in zip(self.workloads, values) if v <= 0
+        }
+        if offenders:
+            raise ValueError(
+                "geometric mean requires positive values; got non-positive "
+                f"metric values for {offenders}"
+            )
         return math.exp(sum(math.log(v) for v in values) / len(values))
 
     def per_workload(self, metric: Callable[[WorkloadProfile], float]) -> "dict[str, float]":

@@ -18,13 +18,20 @@ class TestList:
         code, out, _ = run_cli(capsys, "list")
         assert code == 0
         assert "figure_4_6" in out and "table_3_2" in out
-        assert "29 experiments" in out
+        assert "service_latency_sweep" in out
+        assert "32 experiments" in out
 
     def test_list_filters(self, capsys):
         code, out, _ = run_cli(capsys, "list", "--chapter", "4", "--kind", "table")
         assert code == 0
         assert "table_4_1" in out
         assert "figure_4_6" not in out
+
+    def test_list_studies(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--kind", "study")
+        assert code == 0
+        assert "service_cluster_sizing" in out
+        assert "table_4_1" not in out
 
     def test_list_no_match(self, capsys):
         code, _, err = run_cli(capsys, "list", "--chapter", "9")
@@ -45,6 +52,22 @@ class TestRun:
         payload = json.loads(out)
         assert payload["experiment"] == "table_5_2"
         assert any(row["parameter"] == "pue" for row in payload["rows"])
+
+    def test_run_json_carries_full_envelope(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "table_5_2", "--json", "--no-cache")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["cache_status"] == "disabled"
+        assert payload["wall_time_s"] >= 0
+        assert payload["provenance"]["function"].startswith("repro.experiments")
+        assert "cache_key" in payload["provenance"]
+
+    def test_run_json_cache_status_reflects_hits(self, capsys, tmp_path):
+        argv = ("run", "table_5_2", "--cache-dir", str(tmp_path), "--json")
+        _, first, _ = run_cli(capsys, *argv)
+        _, second, _ = run_cli(capsys, *argv)
+        assert json.loads(first)["cache_status"] == "miss"
+        assert json.loads(second)["cache_status"] == "hit"
 
     def test_run_with_overrides(self, capsys):
         code, out, _ = run_cli(
@@ -96,6 +119,19 @@ class TestSweep:
         payload = json.loads(out)
         values = sorted(tuple(row["llc_sizes_mb"]) for row in payload["rows"])
         assert set(values) == {(1, 4), (1, 8)}
+
+    def test_sweep_json_carries_point_envelopes(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sweep", "figure_2_2", "--set", "cores=2,4", "--json", "--no-cache",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert [p["point"] for p in payload["points"]] == [{"cores": 2}, {"cores": 4}]
+        for point in payload["points"]:
+            assert point["cache_status"] == "disabled"
+            assert point["wall_time_s"] >= 0
+            assert "cache_key" in point["provenance"]
 
     def test_sweep_requires_axis(self, capsys):
         with pytest.raises(SystemExit):

@@ -130,6 +130,65 @@ class TestChapter6:
         assert all(r["performance_density"] > 0 for r in rows)
 
 
+class TestServiceStudies:
+    def test_service_specs_registered(self):
+        from repro.experiments.registry import CATALOG
+
+        assert {
+            "service_latency_sweep",
+            "service_policy_comparison",
+            "service_cluster_sizing",
+        }.issubset(set(EXPERIMENTS))
+        for spec in CATALOG.by_kind("study"):
+            assert spec.chapter == 7
+
+    def test_latency_sweep_p99_monotone_and_diverging(self, small_suite):
+        from repro.experiments import service
+
+        rows = service.service_latency_sweep(
+            utilizations=(0.5, 0.9, 1.5),
+            num_servers=2,
+            num_requests=3_000,
+            suite=small_suite,
+        )
+        p99s = [r["p99_ms"] for r in rows]
+        assert p99s == sorted(p99s)
+        assert p99s[-1] > 1.5 * p99s[0]
+        assert rows[-1]["mmk_p99_ms"] is None  # past saturation
+
+    def test_policy_comparison_covers_policies(self, small_suite):
+        from repro.experiments import service
+
+        rows = service.service_policy_comparison(
+            num_servers=2, num_requests=1_500, suite=small_suite
+        )
+        assert {r["policy"] for r in rows} == {"random", "round_robin", "po2", "jsq"}
+        by_policy = {r["policy"]: r for r in rows}
+        assert by_policy["jsq"]["mean_ms"] <= by_policy["random"]["mean_ms"]
+
+    def test_cluster_sizing_ranks_designs(self, small_suite):
+        from repro.experiments import service
+
+        rows = service.service_cluster_sizing(
+            target_qps=500_000.0, suite=small_suite
+        )
+        by_design = {r["design"]: r for r in rows}
+        assert set(by_design) == {
+            "Conventional", "Scale-Out (OoO)", "Scale-Out 3D (OoO)",
+        }
+        for row in rows:
+            assert row["p99_ms"] <= row["sla_p99_ms"]
+            assert row["monthly_tco_usd"] > 0
+        # The scale-out designs serve the target with far fewer servers.
+        assert by_design["Scale-Out (OoO)"]["servers"] < by_design["Conventional"]["servers"]
+
+    def test_unknown_design_rejected(self):
+        from repro.experiments.service import build_service_chip
+
+        with pytest.raises(ValueError, match="unknown service design"):
+            build_service_chip("Tiled")
+
+
 class TestFormatting:
     def test_format_table_alignment(self):
         text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T")

@@ -30,6 +30,13 @@ class TestSpecCatalog:
         assert spec.kind == "figure"
         assert callable(spec.function)
 
+    def test_version_salts_cache_token(self):
+        # figure_4_3's rows gained a column; its bumped version must shed
+        # cache entries written by older code, while version-1 specs keep
+        # their historical tokens (existing caches stay valid).
+        assert CATALOG.get("figure_4_3").cache_token.endswith("@v2")
+        assert "@v" not in CATALOG.get("figure_4_6").cache_token
+
     def test_unknown_id_raises(self):
         with pytest.raises(UnknownExperimentError) as excinfo:
             CATALOG.get("figure_9_9")
@@ -47,8 +54,10 @@ class TestSpecCatalog:
         assert CATALOG.select(chapter=4, kind="table")[0].experiment_id == "table_4_1"
 
     def test_catalog_covers_every_chapter(self):
-        assert CATALOG.chapters() == [2, 3, 4, 5, 6]
-        assert len(CATALOG) == 29
+        # Chapters 2-6 are the paper's evaluation; 7 holds the service studies.
+        assert CATALOG.chapters() == [2, 3, 4, 5, 6, 7]
+        assert len(CATALOG) == 32
+        assert len(CATALOG.by_kind("study")) == 3
 
     def test_duplicate_registration_rejected(self):
         spec = CATALOG.get("table_4_1")

@@ -16,6 +16,20 @@ from repro.workloads import get_workload
 from repro.workloads.traces import TraceEvent
 
 
+class TestSimulationStats:
+    def test_network_latency_avg(self):
+        from repro.sim.stats import SimulationStats
+
+        stats = SimulationStats(llc_accesses=4, network_latency_cycles_total=36.0)
+        assert stats.network_latency_avg == 9.0
+        assert stats.average_network_latency == 9.0  # legacy alias
+
+    def test_network_latency_avg_guards_zero_accesses(self):
+        from repro.sim.stats import SimulationStats
+
+        assert SimulationStats().network_latency_avg == 0.0
+
+
 class TestEventQueue:
     def test_events_run_in_time_order(self):
         queue = EventQueue()

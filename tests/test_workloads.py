@@ -201,6 +201,16 @@ class TestWorkloadSuite:
         assert mean > 0 and geomean > 0
         assert suite.worst_case(lambda w: w.l1i_mpki) == max(w.l1i_mpki for w in suite)
 
+    def test_geomean_rejects_non_positive_values_with_context(self):
+        suite = default_suite()
+        with pytest.raises(ValueError) as excinfo:
+            suite.geomean(lambda w: -1.0 if w.name == "Web Search" else 1.0)
+        message = str(excinfo.value)
+        assert "positive" in message
+        assert "Web Search" in message  # names the offending workload
+        with pytest.raises(ValueError):
+            suite.geomean(lambda w: 0.0)
+
     def test_per_workload_keys(self):
         suite = default_suite()
         table = suite.per_workload(lambda w: w.max_cores)
