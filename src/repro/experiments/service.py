@@ -85,6 +85,7 @@ def _latency_point(
     service_distribution: str,
     num_requests: int,
     seed: int,
+    engine: str = "auto",
 ) -> "dict[str, object]":
     """One simulated point of the load-latency curve (module-level: picklable)."""
     capacity_qps = num_servers * parallelism / service_mean_s
@@ -97,7 +98,7 @@ def _latency_point(
         arrival=arrival,
         service_distribution=service_distribution,
     )
-    result = simulate_cluster(config, num_requests=num_requests, seed=seed)
+    result = simulate_cluster(config, num_requests=num_requests, seed=seed, engine=engine)
     reference = MmkQueue(
         servers=parallelism,
         service_rate_rps=1.0 / service_mean_s,
@@ -130,6 +131,7 @@ def service_latency_sweep(
     seed: int = 42,
     suite: "WorkloadSuite | None" = None,
     executor: "SweepExecutor | None" = None,
+    engine: str = "auto",
 ) -> "list[dict[str, object]]":
     """Load-latency curve for a cluster of ``design`` servers running ``workload``.
 
@@ -139,6 +141,9 @@ def service_latency_sweep(
     directly comparable to the analytic M/M/k reference column -- and, because
     every load level replays the same seeded per-request work over a compressed
     arrival pattern, simulated p99 rises monotonically with offered load.
+    ``engine`` selects the cluster-simulation engine (``"event"`` is the
+    reference escape hatch; ``"auto"`` uses the vectorized fast engine for
+    state-free policies).
     """
     suite = suite or default_suite()
     executor = executor or SweepExecutor()
@@ -154,6 +159,7 @@ def service_latency_sweep(
             service_distribution,
             num_requests,
             seed,
+            engine,
         )
         for utilization in utilizations
     ]

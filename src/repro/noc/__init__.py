@@ -15,15 +15,19 @@ accounting used for Figures 4.7 and 4.8.
 """
 
 from repro.noc.packet import Packet, MessageClass
+from repro.noc.fastpath import CompiledTopology, PacketBatch
 from repro.noc.topology import NocTopology, build_mesh, build_flattened_butterfly, build_nocout
 from repro.noc.network import NocNetwork, NocConfig
 from repro.noc.traffic import BilateralTrafficGenerator
 from repro.noc.metrics import NocAreaModel, NocAreaBreakdown, NocPowerModel
-from repro.noc.simulation import NocSimulationResult, PodNocStudy, evaluate_topologies
+from repro.noc.simulation import NocPointSpec, NocSimulationResult, PodNocStudy, evaluate_topologies
 
 __all__ = [
     "Packet",
     "MessageClass",
+    "CompiledTopology",
+    "PacketBatch",
+    "NocPointSpec",
     "NocTopology",
     "build_mesh",
     "build_flattened_butterfly",

@@ -1,0 +1,306 @@
+"""Structure-of-arrays fast path for the packet-level NoC simulator.
+
+The reference implementation (:class:`~repro.noc.network.NocNetwork` with
+``use_fastpath=False``) routes one ``Packet`` object at a time: every hop costs
+a networkx edge lookup, a dict probe for the router pipeline depth, and a
+``LinkState`` attribute update.  Under sweep traffic those per-object costs
+dominate the wall clock.  This module keeps the *model* identical but changes
+the *representation*:
+
+* :class:`CompiledTopology` flattens a :class:`~repro.noc.topology.NocTopology`
+  into integer arrays -- a dense link index, per-hop ``(pipeline, link,
+  latency)`` triples for every (source, destination) pair actually routed, and
+  the destination pipeline depth -- so the inner loop touches no graphs and no
+  dicts of objects.
+* :class:`PacketBatch` carries a whole traffic batch as parallel numpy arrays
+  (injection time, source, destination, message class, flits, packet id)
+  instead of a list of ``Packet`` objects, with a lazy adapter back to objects
+  for callers that want them.
+* :func:`process_batch` replays the batch in injection-time order through a
+  tight loop over preallocated link-state arrays and returns per-packet arrival
+  times plus per-link occupancy counters.
+
+Bit-exactness contract: the kernel performs *the same floating-point
+operations in the same order* as ``NocNetwork.send`` -- per-hop pipeline add,
+``max`` against the link's next-free time, link-latency add, then destination
+pipeline and serialization adds as two separate additions.  Statistics that sum
+floats use ``np.cumsum(...)[-1]``, whose strictly sequential accumulation
+matches a left-to-right Python ``sum`` bit for bit (``np.sum`` does not: it
+sums pairwise).  The equivalence suite in ``tests/test_noc_fastpath.py`` holds
+both paths to exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.noc.packet import MessageClass, Packet
+from repro.noc.topology import NocTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.noc.network import NocConfig
+
+#: Stable integer codes for the message classes (array representation).
+CLASS_ORDER: "tuple[MessageClass, ...]" = (
+    MessageClass.DATA_REQUEST,
+    MessageClass.SNOOP_REQUEST,
+    MessageClass.RESPONSE,
+)
+CLASS_CODES: "dict[MessageClass, int]" = {cls: i for i, cls in enumerate(CLASS_ORDER)}
+
+
+@dataclass(frozen=True)
+class PacketBatch:
+    """A traffic batch as a structure of arrays (one row per packet).
+
+    Attributes:
+        injection_time: injection cycle per packet (float64).
+        source: source node id per packet (int64).
+        destination: destination node id per packet (int64).
+        class_code: message-class code per packet (see ``CLASS_CODES``).
+        flits: packet length in flits; 0 means "sized by the network config",
+            exactly like ``Packet.flits``.
+        packet_id: unique id per packet (the run order tie-breaker).
+    """
+
+    injection_time: np.ndarray
+    source: np.ndarray
+    destination: np.ndarray
+    class_code: np.ndarray
+    flits: np.ndarray
+    packet_id: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.injection_time)
+        for name in ("source", "destination", "class_code", "flits", "packet_id"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"PacketBatch column {name!r} has mismatched length")
+
+    def __len__(self) -> int:
+        return len(self.injection_time)
+
+    @classmethod
+    def from_packets(cls, packets: "Sequence[Packet]") -> "PacketBatch":
+        """Column-ify a list of ``Packet`` objects (the reverse adapter)."""
+        return cls(
+            injection_time=np.array([p.injection_time for p in packets], dtype=np.float64),
+            source=np.array([p.source for p in packets], dtype=np.int64),
+            destination=np.array([p.destination for p in packets], dtype=np.int64),
+            class_code=np.array([CLASS_CODES[p.message_class] for p in packets], dtype=np.int64),
+            flits=np.array([p.flits for p in packets], dtype=np.int64),
+            packet_id=np.array([p.packet_id for p in packets], dtype=np.int64),
+        )
+
+    def to_packets(self) -> "list[Packet]":
+        """Materialize ``Packet`` objects, in batch (emission) order."""
+        return [
+            Packet(
+                source=src,
+                destination=dst,
+                message_class=CLASS_ORDER[code],
+                injection_time=t,
+                flits=flits,
+                packet_id=pid,
+            )
+            for src, dst, code, t, flits, pid in zip(
+                self.source.tolist(),
+                self.destination.tolist(),
+                self.class_code.tolist(),
+                self.injection_time.tolist(),
+                self.flits.tolist(),
+                self.packet_id.tolist(),
+            )
+        ]
+
+    @classmethod
+    def concatenate(cls, batches: "Iterable[PacketBatch]") -> "PacketBatch":
+        """Stack several batches into one (emission order preserved)."""
+        parts = list(batches)
+        if not parts:
+            return cls(*(np.empty(0, dtype=d) for d in (np.float64,) + (np.int64,) * 5))
+        return cls(
+            injection_time=np.concatenate([b.injection_time for b in parts]),
+            source=np.concatenate([b.source for b in parts]),
+            destination=np.concatenate([b.destination for b in parts]),
+            class_code=np.concatenate([b.class_code for b in parts]),
+            flits=np.concatenate([b.flits for b in parts]),
+            packet_id=np.concatenate([b.packet_id for b in parts]),
+        )
+
+
+@dataclass(frozen=True)
+class CompiledRoute:
+    """One (source, destination) pair's route in flat form.
+
+    ``hops`` holds one ``(router_pipeline, link_index, link_latency)`` triple
+    per traversed link, in path order; ``tail_pipeline`` is the destination
+    router's pipeline depth.
+    """
+
+    hops: "tuple[tuple[int, int, int], ...]"
+    tail_pipeline: int
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops)
+
+
+class CompiledTopology:
+    """A :class:`NocTopology` flattened into integer arrays for the kernel.
+
+    Link indices follow the graph's edge iteration order (the same order the
+    reference path builds its ``LinkState`` dict in), and routes are compiled
+    lazily per (source, destination) pair -- only the pairs a traffic pattern
+    actually uses pay the routing cost, and the underlying topology's own route
+    cache keeps recompilation across networks cheap.
+    """
+
+    def __init__(self, topology: NocTopology):
+        self.topology = topology
+        self.edge_index: "dict[tuple[int, int], int]" = {
+            (a, b): i for i, (a, b) in enumerate(topology.graph.edges)
+        }
+        self.num_links = len(self.edge_index)
+        self._routes: "dict[tuple[int, int], CompiledRoute]" = {}
+
+    def route_for(self, source: int, destination: int) -> CompiledRoute:
+        """The compiled route for one pair (compiled on first use)."""
+        key = (source, destination)
+        route = self._routes.get(key)
+        if route is None:
+            topology = self.topology
+            path = topology.route(source, destination)
+            pipelines = topology.router_pipeline_cycles
+            hops = tuple(
+                (
+                    pipelines.get(a, 1),
+                    self.edge_index[(a, b)],
+                    topology.link(a, b).latency_cycles,
+                )
+                for a, b in zip(path[:-1], path[1:])
+            )
+            route = CompiledRoute(hops=hops, tail_pipeline=pipelines.get(path[-1], 1))
+            self._routes[key] = route
+        return route
+
+
+def compile_topology(topology: NocTopology) -> CompiledTopology:
+    """The shared :class:`CompiledTopology` for ``topology`` (one per instance).
+
+    Cached on the topology object itself so every network over the same
+    topology -- and every sweep point in the same process -- reuses the
+    compiled routes instead of re-flattening them.
+    """
+    compiled = topology.__dict__.get("_fastpath_compiled")
+    if compiled is None:
+        compiled = CompiledTopology(topology)
+        topology.__dict__["_fastpath_compiled"] = compiled
+    return compiled
+
+
+@dataclass
+class BatchResult:
+    """Per-packet outcome of one :func:`process_batch` call (batch order)."""
+
+    arrival_time: np.ndarray
+    latency: np.ndarray
+    hops: np.ndarray
+    flits: np.ndarray
+    class_code: np.ndarray
+    #: indices that sort the batch by (injection_time, packet_id) -- the
+    #: delivery order, which sequential-sum statistics must follow.
+    order: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.arrival_time)
+
+
+def flit_table(config: "NocConfig") -> np.ndarray:
+    """Flits per message-class code at ``config``'s link width."""
+    return np.array([config.flits_for(cls) for cls in CLASS_ORDER], dtype=np.int64)
+
+
+def process_batch(
+    compiled: CompiledTopology,
+    batch: PacketBatch,
+    config: "NocConfig",
+    next_free: "list[float]",
+    flits_carried: "list[int]",
+) -> BatchResult:
+    """Deliver ``batch`` over ``compiled``, mutating the link-state lists.
+
+    ``next_free`` and ``flits_carried`` are the network's persistent per-link
+    occupancy state (one slot per link, ``compiled.edge_index`` order); they
+    are updated in place so repeated batches see earlier traffic, exactly like
+    repeated ``send`` calls on the reference path.
+    """
+    n = len(batch)
+    resolved = np.where(
+        batch.flits > 0, batch.flits, flit_table(config)[batch.class_code]
+    )
+    # Delivery order: injection time, ties broken by packet id (lexsort keys
+    # are significance-last, and both sorts are stable) -- identical to the
+    # reference path's sorted(key=(injection_time, packet_id)).
+    order = np.lexsort((batch.packet_id, batch.injection_time))
+
+    # Compile each unique (source, destination) pair once, then address routes
+    # by a small per-batch integer code so the packet loop never touches a
+    # dict or builds a tuple key.
+    num_nodes = max(compiled.topology.graph.number_of_nodes(), 1)
+    pair_key = batch.source * num_nodes + batch.destination
+    unique_pairs, pair_code = np.unique(pair_key, return_inverse=True)
+    routes = [
+        compiled.route_for(int(pair) // num_nodes, int(pair) % num_nodes)
+        for pair in unique_pairs
+    ]
+    hops_by_code = [route.hops for route in routes]
+    tail_by_code = [route.tail_pipeline for route in routes]
+
+    injections = batch.injection_time.tolist()
+    codes = pair_code.tolist()
+    flits_list = resolved.tolist()
+    arrivals = [0.0] * n
+
+    for index in order.tolist():
+        time = injections[index]
+        flits = flits_list[index]
+        code = codes[index]
+        for pipeline, link, latency in hops_by_code[code]:
+            time += pipeline
+            free = next_free[link]
+            start = time if time >= free else free
+            next_free[link] = start + flits
+            flits_carried[link] += flits
+            time = start + latency
+        # Same two separate additions as the reference path (float addition is
+        # not associative; the order is part of the bit-exactness contract).
+        time += tail_by_code[code]
+        time += flits - 1
+        arrivals[index] = time
+
+    arrival_time = np.array(arrivals, dtype=np.float64)
+    return BatchResult(
+        arrival_time=arrival_time,
+        latency=arrival_time - batch.injection_time,
+        hops=np.array([route.num_hops for route in routes], dtype=np.int64)[pair_code],
+        flits=resolved,
+        class_code=batch.class_code,
+        order=order,
+    )
+
+
+def sequential_sum(values: np.ndarray, initial: float = 0.0) -> float:
+    """Left-to-right float sum from ``initial``, bit-identical to a Python
+    running sum over the same values.
+
+    ``np.cumsum`` accumulates strictly sequentially, unlike ``np.sum``'s
+    pairwise reduction, so seeding the scan with the current running total
+    reproduces ``(((initial + v0) + v1) + ...)`` exactly -- the accumulation
+    order the reference path's per-packet statistics use.
+    """
+    if len(values) == 0:
+        return initial
+    return float(np.cumsum(np.concatenate(([initial], values)))[-1])

@@ -8,13 +8,36 @@ packets queue behind it.  This captures the first-order effects the paper relies
 on (zero-load latency differences between topologies, serialization penalties of
 narrow links, mild queueing at hot spots) without simulating individual flits and
 credits.
+
+Two execution paths produce bit-identical results (see
+``tests/test_noc_fastpath.py``):
+
+* the **fast path** (default) compiles the topology into flat arrays once and
+  drives packets -- individually via :meth:`NocNetwork.send` or wholesale via
+  :meth:`NocNetwork.run_batch` on a :class:`~repro.noc.fastpath.PacketBatch` --
+  through :mod:`repro.noc.fastpath`'s tight kernel;
+* the **reference path** (``use_fastpath=False``) walks the networkx graph per
+  packet, exactly as the original implementation did.
+
+Latency statistics are maintained as running (sum, count) pairs updated at
+delivery time, so collection is O(1) memory per message class on both paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.noc.fastpath import (
+    CLASS_ORDER,
+    BatchResult,
+    PacketBatch,
+    compile_topology,
+    process_batch,
+    sequential_sum,
+)
 from repro.noc.packet import MessageClass, Packet
 from repro.noc.topology import NocTopology
 
@@ -47,7 +70,7 @@ class NocConfig:
 
 @dataclass
 class LinkState:
-    """Occupancy bookkeeping for one directed link."""
+    """Occupancy bookkeeping for one directed link (reference path)."""
 
     next_free: float = 0.0
     flits_carried: int = 0
@@ -55,15 +78,41 @@ class LinkState:
 
 
 class NocNetwork:
-    """Packet-level timing model over a :class:`NocTopology`."""
+    """Packet-level timing model over a :class:`NocTopology`.
 
-    def __init__(self, topology: NocTopology, config: "NocConfig | None" = None):
+    Args:
+        topology: the routed topology packets travel over.
+        config: operating parameters (link width, VCs).
+        use_fastpath: drive timing through the compiled structure-of-arrays
+            kernel (default).  ``False`` selects the original per-packet
+            graph-walking implementation; both produce identical results.
+    """
+
+    def __init__(
+        self,
+        topology: NocTopology,
+        config: "NocConfig | None" = None,
+        use_fastpath: bool = True,
+    ):
         self.topology = topology
         self.config = config or NocConfig()
-        self._links: "dict[tuple[int, int], LinkState]" = {
-            (a, b): LinkState() for a, b in topology.graph.edges
-        }
+        self.use_fastpath = use_fastpath
         self.delivered: "list[Packet]" = []
+        # Running statistics (O(1) memory per class), updated at delivery time.
+        self._delivered_count = 0
+        self._latency_sum = 0.0
+        self._hops_sum = 0
+        self._class_sums: "dict[MessageClass, list]" = {}
+        if use_fastpath:
+            self._compiled = compile_topology(topology)
+            self._next_free: "list[float]" = [0.0] * self._compiled.num_links
+            self._flits_carried: "list[int]" = [0] * self._compiled.num_links
+            self._links = None
+        else:
+            self._compiled = None
+            self._links: "dict[tuple[int, int], LinkState] | None" = {
+                (a, b): LinkState() for a, b in topology.graph.edges
+            }
 
     # ----------------------------------------------------------------- timing
     def send(self, packet: Packet) -> float:
@@ -72,6 +121,36 @@ class NocNetwork:
             packet.flits = self.config.flits_for(packet.message_class)
         if packet.flits <= 0:  # pragma: no cover - defensive
             packet.flits = packet.default_flits()
+        if self.use_fastpath:
+            time, hops = self._send_fast(packet)
+        else:
+            time, hops = self._send_reference(packet)
+        packet.arrival_time = time
+        packet.hops = hops
+        self.delivered.append(packet)
+        self._record(packet.message_class, time - packet.injection_time, hops)
+        return time
+
+    def _send_fast(self, packet: Packet) -> "tuple[float, int]":
+        """One packet through the compiled kernel's per-hop recurrence."""
+        route = self._compiled.route_for(packet.source, packet.destination)
+        next_free = self._next_free
+        flits_carried = self._flits_carried
+        flits = packet.flits
+        time = packet.injection_time
+        for pipeline, link, latency in route.hops:
+            time += pipeline
+            free = next_free[link]
+            start = time if time >= free else free
+            next_free[link] = start + flits
+            flits_carried[link] += flits
+            time = start + latency
+        time += route.tail_pipeline
+        time += flits - 1
+        return time, route.num_hops
+
+    def _send_reference(self, packet: Packet) -> "tuple[float, int]":
+        """The original per-packet graph walk (escape hatch)."""
         path = self.topology.route(packet.source, packet.destination)
         time = packet.injection_time
         for a, b in zip(path[:-1], path[1:]):
@@ -88,44 +167,120 @@ class NocNetwork:
         # Serialization: the tail flit arrives packet.flits - 1 cycles after the head.
         time += self.topology.router_pipeline_cycles.get(path[-1], 1)
         time += packet.flits - 1
-        packet.arrival_time = time
-        packet.hops = len(path) - 1
-        self.delivered.append(packet)
-        return time
+        return time, len(path) - 1
 
-    def run(self, packets: Iterable[Packet]) -> "list[Packet]":
-        """Send ``packets`` in injection-time order and return the delivered list."""
+    def run(self, packets: "Iterable[Packet] | PacketBatch") -> "list[Packet]":
+        """Send ``packets`` in injection-time order and return the delivered list.
+
+        A :class:`PacketBatch` is delivered through :meth:`run_batch` (no
+        ``Packet`` objects are materialized; the returned list only holds
+        previously object-delivered packets).
+        """
+        if isinstance(packets, PacketBatch):
+            self.run_batch(packets)
+            return self.delivered
         ordered = sorted(packets, key=lambda p: (p.injection_time, p.packet_id))
         for packet in ordered:
             self.send(packet)
         return self.delivered
 
+    def run_batch(self, batch: PacketBatch) -> BatchResult:
+        """Deliver a whole :class:`PacketBatch` through the array kernel.
+
+        On the reference path the batch is materialized into objects and
+        replayed through :meth:`run`, so the escape hatch accepts batches too.
+        Statistics accumulate into the same running sums :meth:`send` feeds,
+        in delivery order, keeping the two paths bit-identical.
+        """
+        if not self.use_fastpath:
+            delivered_before = len(self.delivered)
+            self.run(batch.to_packets())
+            return _batch_result_from_packets(self.delivered[delivered_before:], batch)
+        result = process_batch(
+            self._compiled, batch, self.config, self._next_free, self._flits_carried
+        )
+        # Sequential sums in delivery order, *seeded with the current running
+        # sum*, match the reference path's per-packet accumulation bit for bit
+        # even across multiple batches or mixed send/run_batch usage.
+        ordered_latency = result.latency[result.order]
+        ordered_codes = result.class_code[result.order]
+        self._latency_sum = sequential_sum(ordered_latency, initial=self._latency_sum)
+        self._hops_sum += int(result.hops.sum())
+        self._delivered_count += len(batch)
+        for code, cls in enumerate(CLASS_ORDER):
+            mask = ordered_codes == code
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            sums = self._class_sums.setdefault(cls, [0.0, 0])
+            sums[0] = sequential_sum(ordered_latency[mask], initial=sums[0])
+            sums[1] += count
+        return result
+
+    def _record(self, message_class: MessageClass, latency: float, hops: int) -> None:
+        self._delivered_count += 1
+        self._latency_sum += latency
+        self._hops_sum += hops
+        sums = self._class_sums.setdefault(message_class, [0.0, 0])
+        sums[0] += latency
+        sums[1] += 1
+
     # ------------------------------------------------------------------ stats
     def average_latency(self) -> float:
         """Average end-to-end packet latency."""
-        if not self.delivered:
+        if self._delivered_count == 0:
             return 0.0
-        return sum(p.latency for p in self.delivered) / len(self.delivered)
+        return self._latency_sum / self._delivered_count
 
     def average_latency_by_class(self) -> "dict[MessageClass, float]":
-        """Average latency per message class."""
-        sums: "dict[MessageClass, list[float]]" = {}
-        for packet in self.delivered:
-            sums.setdefault(packet.message_class, []).append(packet.latency)
-        return {cls: sum(v) / len(v) for cls, v in sums.items()}
+        """Average latency per message class (running sums; O(1) memory)."""
+        return {cls: sums[0] / sums[1] for cls, sums in self._class_sums.items()}
 
     def average_hops(self) -> float:
         """Average hop count of delivered packets."""
-        if not self.delivered:
+        if self._delivered_count == 0:
             return 0.0
-        return sum(p.hops for p in self.delivered) / len(self.delivered)
+        return self._hops_sum / self._delivered_count
 
     def total_flit_hops(self) -> int:
         """Total flit-hops carried (the energy model's activity measure)."""
+        if self.use_fastpath:
+            return sum(self._flits_carried)
         return sum(state.flits_carried for state in self._links.values())
 
     def max_link_utilization(self, elapsed_cycles: float) -> float:
         """Utilization of the busiest link (congestion indicator)."""
-        if elapsed_cycles <= 0 or not self._links:
+        if elapsed_cycles <= 0:
             return 0.0
-        return min(1.0, max(s.busy_cycles for s in self._links.values()) / elapsed_cycles)
+        if self.use_fastpath:
+            if not self._flits_carried:
+                return 0.0
+            # Busy cycles equal flits carried: every traversal occupies the
+            # link for exactly one cycle per flit.
+            busiest = float(max(self._flits_carried))
+        else:
+            if not self._links:
+                return 0.0
+            busiest = max(s.busy_cycles for s in self._links.values())
+        return min(1.0, busiest / elapsed_cycles)
+
+
+def _batch_result_from_packets(
+    packets: "Sequence[Packet]", batch: PacketBatch
+) -> BatchResult:
+    """Assemble a :class:`BatchResult` from object-delivered packets.
+
+    ``packets`` arrive in delivery order; the result columns follow batch
+    order, re-aligned through the (unique) packet ids.
+    """
+    by_id = {p.packet_id: p for p in packets}
+    packets = [by_id[pid] for pid in batch.packet_id.tolist()]
+    arrival = np.array([p.arrival_time for p in packets], dtype=np.float64)
+    return BatchResult(
+        arrival_time=arrival,
+        latency=arrival - batch.injection_time,
+        hops=np.array([p.hops for p in packets], dtype=np.int64),
+        flits=np.array([p.flits for p in packets], dtype=np.int64),
+        class_code=batch.class_code,
+        order=np.lexsort((batch.packet_id, batch.injection_time)),
+    )

@@ -11,19 +11,66 @@ pipeline behind Figures 4.6, 4.7 and 4.8.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.noc.metrics import NocAreaBreakdown, NocAreaModel, NocPowerModel
 from repro.noc.network import NocConfig, NocNetwork
 from repro.noc.packet import MessageClass
 from repro.noc.topology import NocTopology, TOPOLOGY_BUILDERS
-from repro.noc.traffic import BilateralTrafficGenerator
+from repro.noc.traffic import (
+    BilateralTrafficGenerator,
+    bilateral_injection_rate,
+    generate_bilateral_batch,
+)
 from repro.perfmodel.amat import LlcAccessLatency
 from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
 from repro.runtime.executor import SweepExecutor
 from repro.technology.node import NODE_32NM, TechnologyNode
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.suite import WorkloadSuite, default_suite
+
+
+@lru_cache(maxsize=16)
+def _cached_topology(name: str, cores: int) -> NocTopology:
+    """Process-local memo of built topologies.
+
+    Topology construction is deterministic, and the instance's route cache is
+    the expensive part to rebuild (NOC-Out pairs run a shortest-path search).
+    Sharing one instance per (name, cores) lets every sweep point in a worker
+    process reuse warm routes.
+    """
+    return TOPOLOGY_BUILDERS[name.lower()](cores=cores)
+
+
+@lru_cache(maxsize=64)
+def _cached_traffic_batch(
+    core_nodes: "tuple[int, ...]",
+    llc_nodes: "tuple[int, ...]",
+    injection_rate: float,
+    snoop_fraction: float,
+    seed: int,
+    duration_cycles: int,
+    active_cores: int,
+):
+    """Memoized traffic batches, keyed by everything the generator draws from.
+
+    The generator's random stream is fully determined by the node id lists,
+    the per-core injection rate, the snoop fraction, and the seed -- not by
+    the topology's links -- so topologies with identical core/LLC numbering
+    (mesh and the flattened butterfly) share one generated batch per
+    (workload, seed) point.  Callers must treat the returned batch as
+    immutable.
+    """
+    return generate_bilateral_batch(
+        core_nodes=list(core_nodes),
+        llc_nodes=list(llc_nodes),
+        injection_rate=injection_rate,
+        snoop_fraction=snoop_fraction,
+        seed=seed,
+        duration_cycles=duration_cycles,
+        active_cores=active_cores,
+    )
 
 
 @dataclass(frozen=True)
@@ -49,8 +96,27 @@ class NocSimulationResult:
     max_link_utilization: float
 
 
+@dataclass(frozen=True)
+class NocPointSpec:
+    """Everything a pool worker needs to evaluate one NoC sweep point.
+
+    A frozen value object shipped to workers instead of pickling the whole
+    :class:`PodNocStudy` (whose workload suite and analytic model dominated the
+    per-point IPC payload); :meth:`PodNocStudy.from_spec` reconstitutes an
+    equivalent study on the other side.
+    """
+
+    cores: int
+    llc_mb: float
+    node: TechnologyNode
+    config: NocConfig
+    duration_cycles: int
+    seed: int
+    use_fastpath: bool = True
+
+
 def _evaluate_noc_point(
-    study: "PodNocStudy",
+    spec: NocPointSpec,
     topology_name: str,
     workload: WorkloadProfile,
     link_width_bits: "int | None",
@@ -58,9 +124,10 @@ def _evaluate_noc_point(
     """Evaluate one (topology, workload) sweep point.
 
     Module-level so :class:`~repro.runtime.SweepExecutor` can ship it to pool
-    workers; the topology is rebuilt per point (it is a cheap, deterministic
-    description), keeping the serial and parallel paths on identical code.
+    workers; the topology is built from the deterministic spec (and memoized
+    per process), keeping the serial and parallel paths on identical code.
     """
+    study = PodNocStudy.from_spec(spec)
     topology = study.build_topology(topology_name)
     request_latency, packet_latency, hops, util = study.measure_latency(
         topology, workload, link_width_bits=link_width_bits
@@ -88,20 +155,59 @@ class PodNocStudy:
         config: "NocConfig | None" = None,
         duration_cycles: int = 8_000,
         seed: int = 1,
+        use_fastpath: bool = True,
     ):
         self.cores = cores
         self.llc_mb = llc_mb
         self.node = node
-        self.suite = suite or default_suite()
+        self._suite = suite
         self.config = config or NocConfig()
         self.duration_cycles = duration_cycles
         self.seed = seed
+        self.use_fastpath = use_fastpath
         self.model = AnalyticPerformanceModel()
+
+    @property
+    def suite(self) -> WorkloadSuite:
+        """Workload suite (built lazily; sweep workers never need it)."""
+        if self._suite is None:
+            self._suite = default_suite()
+        return self._suite
+
+    # ------------------------------------------------------------------ specs
+    def point_spec(self) -> NocPointSpec:
+        """The frozen per-point description shipped to sweep workers."""
+        return NocPointSpec(
+            cores=self.cores,
+            llc_mb=self.llc_mb,
+            node=self.node,
+            config=self.config,
+            duration_cycles=self.duration_cycles,
+            seed=self.seed,
+            use_fastpath=self.use_fastpath,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: NocPointSpec) -> "PodNocStudy":
+        """Reconstitute a study from a :class:`NocPointSpec` (worker side).
+
+        The suite stays unset (it is lazy and sweep workers never touch it).
+        """
+        return cls(
+            cores=spec.cores,
+            llc_mb=spec.llc_mb,
+            node=spec.node,
+            suite=None,
+            config=spec.config,
+            duration_cycles=spec.duration_cycles,
+            seed=spec.seed,
+            use_fastpath=spec.use_fastpath,
+        )
 
     # --------------------------------------------------------------- topology
     def build_topology(self, name: str) -> NocTopology:
-        """Build the named topology sized for this pod."""
-        return TOPOLOGY_BUILDERS[name.lower()](cores=self.cores)
+        """Build the named topology sized for this pod (memoized per process)."""
+        return _cached_topology(name, self.cores)
 
     # ----------------------------------------------------------- measurements
     def active_cores_for(self, workload: WorkloadProfile) -> int:
@@ -119,15 +225,31 @@ class PodNocStudy:
                 vcs_per_port=self.config.vcs_per_port,
                 buffer_flits_per_vc=self.config.buffer_flits_per_vc,
             )
-        network = NocNetwork(topology, config)
-        generator = BilateralTrafficGenerator(
-            topology, workload, per_core_ipc=0.5, seed=self.seed
-        )
-        packets = generator.generate(
-            duration_cycles=self.duration_cycles,
-            active_cores=self.active_cores_for(workload),
-        )
-        network.run(packets)
+        network = NocNetwork(topology, config, use_fastpath=self.use_fastpath)
+        if self.use_fastpath:
+            # Array path: no Packet objects are ever materialized, and the
+            # batch is shared across topologies with identical node numbering.
+            injection_rate = bilateral_injection_rate(workload, per_core_ipc=0.5)
+            batch = _cached_traffic_batch(
+                tuple(topology.core_nodes),
+                tuple(topology.llc_nodes),
+                injection_rate,
+                workload.snoop_fraction,
+                self.seed,
+                self.duration_cycles,
+                self.active_cores_for(workload),
+            )
+            network.run_batch(batch)
+        else:
+            generator = BilateralTrafficGenerator(
+                topology, workload, per_core_ipc=0.5, seed=self.seed
+            )
+            network.run(
+                generator.generate(
+                    duration_cycles=self.duration_cycles,
+                    active_cores=self.active_cores_for(workload),
+                )
+            )
         by_class = network.average_latency_by_class()
         request_latency = by_class.get(MessageClass.DATA_REQUEST, network.average_latency())
         response_latency = by_class.get(MessageClass.RESPONSE, request_latency)
@@ -178,13 +300,14 @@ class PodNocStudy:
         and therefore produce identical result lists.
         """
         executor = executor or SweepExecutor()
+        spec = self.point_spec()
         points = []
         for name in topology_names:
             width = None
             if link_width_bits_by_topology is not None:
                 width = link_width_bits_by_topology.get(name)
             for workload in self.suite:
-                points.append((self, name, workload, width))
+                points.append((spec, name, workload, width))
         return executor.map(_evaluate_noc_point, points)
 
     def normalized_performance(
@@ -234,8 +357,15 @@ def evaluate_topologies(
     duration_cycles: int = 6_000,
     suite: "WorkloadSuite | None" = None,
     seed: int = 1,
+    use_fastpath: bool = True,
 ) -> "dict[str, dict[str, float]]":
     """Convenience wrapper returning Figure 4.6 (performance normalized to mesh)."""
-    study = PodNocStudy(cores=cores, duration_cycles=duration_cycles, suite=suite, seed=seed)
+    study = PodNocStudy(
+        cores=cores,
+        duration_cycles=duration_cycles,
+        suite=suite,
+        seed=seed,
+        use_fastpath=use_fastpath,
+    )
     results = study.evaluate()
     return study.normalized_performance(results)

@@ -1,0 +1,216 @@
+"""Benchmark baseline recording: the repo's perf trajectory (``BENCH_*.json``).
+
+``python -m repro bench --json`` times the registered benchmark targets twice
+-- once on the default fast path and once on the pre-PR reference path (the
+``use_fastpath=False`` / ``engine="event"`` escape hatches) -- and writes one
+JSON file per domain (``BENCH_noc.json``, ``BENCH_service.json``).  Committing
+those files gives every future change a recorded baseline to regress against.
+
+Schema (``schema: 1``)::
+
+    {
+      "schema": 1,
+      "created_utc": "2026-07-29T12:00:00Z",
+      "command": "python -m repro bench --json ...",
+      "entries": [
+        {
+          "experiment": "figure_4_6",          # catalog id
+          "domain": "noc",                     # selects the BENCH file
+          "unit": "packets",                   # what "units" counts
+          "units": 80764,                      # exact work per variant run
+          "parameters": {"duration_cycles": 4000},
+          "fastpath":  {"wall_s": 0.35, "units_per_s": 230754.0,
+                        "cache_status": "disabled"},
+          "reference": {"wall_s": 1.21, "units_per_s": 66747.0,
+                        "cache_status": "disabled"},
+          "speedup": 3.46                      # reference wall / fastpath wall
+        }, ...
+      ]
+    }
+
+The fast variant runs first (cold caches); the reference variant then runs
+with any process-level memoization already warm, which can only understate the
+recorded speedup.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+#: Schema version stamped into every BENCH file.
+BENCH_SCHEMA = 1
+
+
+def _noc_packet_count(kwargs: "Mapping[str, object]") -> int:
+    """Exact packets simulated by one ``figure_4_6`` run (all sweep points)."""
+    from repro.noc.simulation import PodNocStudy, _cached_traffic_batch
+    from repro.noc.traffic import bilateral_injection_rate
+
+    study = PodNocStudy(
+        duration_cycles=int(kwargs.get("duration_cycles", 4_000)),
+        seed=int(kwargs.get("seed", 1)),
+    )
+    total = 0
+    # The topology list mirrors PodNocStudy.evaluate()'s default sweep.
+    for name in ("mesh", "fbfly", "nocout"):
+        topology = study.build_topology(name)
+        for workload in study.suite:
+            injection_rate = bilateral_injection_rate(workload, per_core_ipc=0.5)
+            batch = _cached_traffic_batch(
+                tuple(topology.core_nodes),
+                tuple(topology.llc_nodes),
+                injection_rate,
+                workload.snoop_fraction,
+                study.seed,
+                study.duration_cycles,
+                study.active_cores_for(workload),
+            )
+            total += len(batch)
+    return total
+
+
+def _service_request_count(kwargs: "Mapping[str, object]") -> int:
+    """Exact requests simulated by one ``service_latency_sweep`` run."""
+    default_utilizations = (0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95, 0.98, 1.02, 1.1)
+    utilizations = kwargs.get("utilizations", default_utilizations)
+    num_requests = int(kwargs.get("num_requests", 16_000))
+    return len(tuple(utilizations)) * num_requests
+
+
+@dataclass(frozen=True)
+class BenchTarget:
+    """One experiment tracked in the perf trajectory.
+
+    Attributes:
+        experiment_id: catalog id to run.
+        domain: BENCH file the entry lands in (``BENCH_<domain>.json``).
+        unit: what :attr:`count_units` counts ("packets", "requests").
+        reference_overrides: kwargs selecting the pre-PR reference path.
+        count_units: exact work units for a given kwargs dict.
+    """
+
+    experiment_id: str
+    domain: str
+    unit: str
+    reference_overrides: "Mapping[str, object]" = field(default_factory=dict)
+    count_units: "Callable[[Mapping[str, object]], int] | None" = None
+
+
+#: The recorded perf trajectory: one NoC figure and one service sweep.
+BENCH_TARGETS: "dict[str, BenchTarget]" = {
+    "figure_4_6": BenchTarget(
+        experiment_id="figure_4_6",
+        domain="noc",
+        unit="packets",
+        reference_overrides={"use_fastpath": False},
+        count_units=_noc_packet_count,
+    ),
+    "service_latency_sweep": BenchTarget(
+        experiment_id="service_latency_sweep",
+        domain="service",
+        unit="requests",
+        reference_overrides={"engine": "event"},
+        count_units=_service_request_count,
+    ),
+}
+
+
+def _accepted_overrides(
+    experiment_id: str, overrides: "dict[str, object]"
+) -> "dict[str, object]":
+    """Drop override keys the experiment function does not accept.
+
+    ``bench --json`` applies one ``--set`` list to every selected target;
+    each target only takes the parameters it understands.
+    """
+    from repro.experiments.registry import CATALOG
+
+    parameters = inspect.signature(CATALOG.get(experiment_id).function).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return overrides
+    return {name: value for name, value in overrides.items() if name in parameters}
+
+
+def _timed_variant(experiment_id: str, kwargs: "dict[str, object]") -> "dict[str, object]":
+    """Run one uncached variant and report its wall time."""
+    from repro.experiments.registry import run_experiment
+
+    result = run_experiment(experiment_id, use_cache=False, **kwargs)
+    return {
+        "wall_s": round(result.wall_time_s, 6),
+        "cache_status": result.cache_status,
+    }
+
+
+def run_bench_target(
+    experiment_id: str, overrides: "Mapping[str, object] | None" = None
+) -> "dict[str, object]":
+    """Time one experiment (fast path, then reference path if registered).
+
+    Unregistered ids still produce an entry -- wall time only, no domain --
+    so ``bench --json`` can time anything in the catalog.
+    """
+    overrides = _accepted_overrides(experiment_id, dict(overrides or {}))
+    target = BENCH_TARGETS.get(experiment_id)
+    entry: "dict[str, object]" = {
+        "experiment": experiment_id,
+        "parameters": {
+            name: value if isinstance(value, (bool, int, float, str, type(None))) else repr(value)
+            for name, value in sorted(overrides.items())
+        },
+    }
+    entry["fastpath"] = _timed_variant(experiment_id, dict(overrides))
+    if target is None:
+        return entry
+
+    entry["domain"] = target.domain
+    entry["unit"] = target.unit
+    if target.count_units is not None:
+        units = target.count_units(overrides)
+        entry["units"] = units
+        entry["fastpath"]["units_per_s"] = round(
+            units / max(entry["fastpath"]["wall_s"], 1e-9), 1
+        )
+    reference = _timed_variant(
+        experiment_id, {**overrides, **target.reference_overrides}
+    )
+    if "units" in entry:
+        reference["units_per_s"] = round(
+            entry["units"] / max(reference["wall_s"], 1e-9), 1
+        )
+    entry["reference"] = reference
+    entry["speedup"] = round(
+        reference["wall_s"] / max(entry["fastpath"]["wall_s"], 1e-9), 2
+    )
+    return entry
+
+
+def write_bench_files(
+    entries: "Sequence[Mapping[str, object]]",
+    directory: "str | Path" = ".",
+    command: str = "python -m repro bench --json",
+) -> "list[Path]":
+    """Group entries by domain and write one ``BENCH_<domain>.json`` each."""
+    directory = Path(directory)
+    by_domain: "dict[str, list[Mapping[str, object]]]" = {}
+    for entry in entries:
+        domain = entry.get("domain")
+        if domain:
+            by_domain.setdefault(str(domain), []).append(entry)
+    paths = []
+    for domain, domain_entries in sorted(by_domain.items()):
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "command": command,
+            "entries": list(domain_entries),
+        }
+        path = directory / f"BENCH_{domain}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        paths.append(path)
+    return paths

@@ -198,6 +198,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.formatting import format_table
     from repro.experiments.registry import CATALOG
 
+    if args.json:
+        return _cmd_bench_json(args)
     ids = args.ids or CATALOG.ids()
     rows = []
     for experiment_id in ids:
@@ -212,6 +214,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     rows.sort(key=lambda row: row["wall_s"], reverse=True)
     print(format_table(rows, title="experiment wall-clock cost (cache off)"))
+    return 0
+
+
+def _cmd_bench_json(args: argparse.Namespace) -> int:
+    """Record the perf-trajectory baseline (``BENCH_<domain>.json`` files).
+
+    Registered targets (see ``repro.runtime.bench.BENCH_TARGETS``) are timed on
+    both the fast and the reference path and written to their domain's BENCH
+    file; any other catalog id is timed fast-path-only and appears in the
+    stdout envelope but not in a file.
+    """
+    from repro.runtime.bench import (
+        BENCH_SCHEMA,
+        BENCH_TARGETS,
+        run_bench_target,
+        write_bench_files,
+    )
+
+    ids = args.ids or list(BENCH_TARGETS)
+    overrides = _parse_overrides(args.set or [])
+    entries = [run_bench_target(experiment_id, overrides) for experiment_id in ids]
+    paths = write_bench_files(entries, directory=args.bench_dir)
+    print(
+        json.dumps(
+            {
+                "schema": BENCH_SCHEMA,
+                "entries": entries,
+                "files": [str(path) for path in paths],
+            }
+        )
+    )
     return 0
 
 
@@ -255,7 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_bench = sub.add_parser("bench", help="time experiments with caching off")
-    p_bench.add_argument("ids", nargs="*", metavar="ID", help="experiment ids (default: all)")
+    p_bench.add_argument("ids", nargs="*", metavar="ID",
+                         help="experiment ids (default: all; with --json: the "
+                              "registered baseline targets)")
+    p_bench.add_argument("--bench-dir", default=".", metavar="DIR",
+                         help="directory for BENCH_<domain>.json files (--json only)")
     add_run_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 

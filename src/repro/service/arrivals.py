@@ -24,6 +24,8 @@ import random
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class PoissonArrivals:
@@ -45,6 +47,18 @@ class PoissonArrivals:
             # Inverse-transform sampling (one uniform per request) so equal
             # seeds at different rates yield exactly scaled arrival times.
             yield -math.log(1.0 - rng.random()) / self.rate_rps
+
+    def sample_times(self, rng: random.Random, count: int) -> np.ndarray:
+        """``count`` absolute arrival times, generated as one batch.
+
+        Consumes one uniform per request from ``rng`` (the same budget as
+        :meth:`gaps`), vectorizing the log transform and the running-time
+        accumulation; the common-random-numbers scaling property is preserved
+        exactly because the uniforms are shared across rates.
+        """
+        uniforms = np.array([rng.random() for _ in range(count)], dtype=np.float64)
+        gaps = -np.log1p(-uniforms) / self.rate_rps
+        return np.cumsum(gaps)
 
 
 @dataclass(frozen=True)
@@ -111,6 +125,18 @@ class MmppArrivals:
                 bursting = not bursting
                 sojourn = burst_sojourn if bursting else quiet_sojourn
                 phase_left = rng.expovariate(1.0 / sojourn)
+
+    def sample_times(self, rng: random.Random, count: int) -> np.ndarray:
+        """``count`` absolute arrival times (batched via the gap stream).
+
+        The modulated process is inherently sequential (each gap depends on
+        the phase state), so batching here only amortizes the accumulation.
+        """
+        gap_stream = self.gaps(rng)
+        gaps = np.fromiter(
+            (next(gap_stream) for _ in range(count)), dtype=np.float64, count=count
+        )
+        return np.cumsum(gaps)
 
 
 #: Arrival-process factories keyed by the names the experiments/CLI use.

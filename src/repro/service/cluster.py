@@ -20,8 +20,11 @@ policies -- the load-latency sweeps inherit that cleanliness.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.service.arrivals import make_arrivals
 from repro.service.balancer import make_balancer
@@ -29,6 +32,13 @@ from repro.service.latency import LatencyCollector, LatencyStats
 from repro.service.queueing import Request, RequestServer
 from repro.service.servicetime import make_service_time
 from repro.sim.engine import EventQueue
+
+#: Policies whose routing decisions never read queue state; their simulations
+#: decompose into independent per-server FCFS recurrences and run on the
+#: vectorized fast engine.
+STATE_FREE_POLICIES = ("random", "round_robin")
+
+_ENGINES = ("auto", "fast", "event")
 
 
 @dataclass(frozen=True)
@@ -99,13 +109,48 @@ class ClusterResult:
 
 
 class ClusterSimulation:
-    """Discrete-event simulation of a load-balanced service cluster."""
+    """Simulation of a load-balanced service cluster.
 
-    def __init__(self, config: ClusterConfig, seed: int = 1):
+    Two engines produce the same per-request latencies:
+
+    * the **event engine** drives :class:`RequestServer` stations on a shared
+      :class:`EventQueue` and supports every policy (it is required for the
+      state-aware ``jsq`` and ``po2`` balancers);
+    * the **fast engine** exploits that ``random`` and ``round_robin`` routing
+      is independent of queue state: once the routing sequence is fixed, each
+      server is an isolated FCFS G/G/k station whose start times follow the
+      classic earliest-free-unit recurrence over a k-slot heap -- no event
+      objects, no callbacks.
+
+    ``engine="auto"`` (default) picks the fast engine whenever the policy
+    allows it; ``engine="event"`` is the escape hatch, ``engine="fast"``
+    asserts the policy is state-free.
+    """
+
+    def __init__(self, config: ClusterConfig, seed: int = 1, engine: str = "auto"):
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        if engine == "fast" and config.policy not in STATE_FREE_POLICIES:
+            raise ValueError(
+                f"policy {config.policy!r} reads queue state and needs the event engine"
+            )
         self.config = config
         self.seed = seed
+        self.engine = engine
 
-    def _generate_requests(self, count: int) -> "list[Request]":
+    def resolved_engine(self) -> str:
+        """The engine ("fast" or "event") this simulation will run on."""
+        if self.engine == "auto":
+            return "fast" if self.config.policy in STATE_FREE_POLICIES else "event"
+        return self.engine
+
+    def _generate_request_arrays(self, count: int) -> "tuple[np.ndarray, np.ndarray]":
+        """(arrival times, service times) -- the shared deterministic streams.
+
+        Both engines consume these identical arrays, so results are engine-
+        independent; arrivals and service times come from separate seeded
+        streams, preserving the common-random-numbers structure.
+        """
         arrival_rng = random.Random(self.seed)
         service_rng = random.Random(self.seed + 1)
         process = make_arrivals(
@@ -116,20 +161,30 @@ class ClusterSimulation:
             self.config.service_mean_s,
             **self.config.service_kwargs,
         )
-        requests = []
-        now = 0.0
-        gaps = process.gaps(arrival_rng)
-        for index in range(count):
-            now += next(gaps)
-            requests.append(
-                Request(index=index, arrival_s=now, service_s=distribution.sample(service_rng))
+        arrivals = process.sample_times(arrival_rng, count)
+        services = distribution.sample_batch(service_rng, count)
+        return arrivals, services
+
+    def _generate_requests(self, count: int) -> "list[Request]":
+        """The request list for the event engine (object view of the arrays)."""
+        arrivals, services = self._generate_request_arrays(count)
+        return [
+            Request(index=index, arrival_s=arrival, service_s=service)
+            for index, (arrival, service) in enumerate(
+                zip(arrivals.tolist(), services.tolist())
             )
-        return requests
+        ]
 
     def run(self, num_requests: int = 5_000) -> ClusterResult:
         """Simulate ``num_requests`` requests to completion."""
         if num_requests < 1:
             raise ValueError("num_requests must be >= 1")
+        if self.resolved_engine() == "fast":
+            return self._run_fast(num_requests)
+        return self._run_event(num_requests)
+
+    # ------------------------------------------------------------ event engine
+    def _run_event(self, num_requests: int) -> ClusterResult:
         config = self.config
         engine = EventQueue()
         warmup = int(num_requests * config.warmup_fraction)
@@ -164,7 +219,85 @@ class ClusterSimulation:
             per_server_counts=collector.per_server_counts(),
         )
 
+    # ------------------------------------------------------------- fast engine
+    def _routing_sequence(self, count: int) -> "list[int]":
+        """Per-request server choices, identical to the event engine's stream.
 
-def simulate_cluster(config: ClusterConfig, num_requests: int = 5_000, seed: int = 1) -> ClusterResult:
+        The event engine draws routing decisions in arrival (index) order, so
+        replaying the same seeded stream up front yields the same assignment.
+        """
+        num_servers = self.config.num_servers
+        if self.config.policy == "round_robin":
+            return [index % num_servers for index in range(count)]
+        if self.config.policy == "random":
+            routing_rng = random.Random(self.seed + 2)
+            return [routing_rng.randrange(num_servers) for _ in range(count)]
+        raise ValueError(  # pragma: no cover - guarded by resolved_engine
+            f"no fast-engine routing replay for policy {self.config.policy!r}"
+        )
+
+    def _run_fast(self, num_requests: int) -> ClusterResult:
+        config = self.config
+        arrivals, services = self._generate_request_arrays(num_requests)
+        assignment = self._routing_sequence(num_requests)
+        parallelism = config.parallelism
+
+        arrival_list = arrivals.tolist()
+        service_list = services.tolist()
+        # One k-slot heap of unit-free times per server: the next request on a
+        # server starts at max(arrival, earliest unit free time) -- the FCFS
+        # G/G/k recurrence the event engine resolves with callbacks.
+        unit_free = [[0.0] * parallelism for _ in range(config.num_servers)]
+        completions = [0.0] * num_requests
+        for index in range(num_requests):
+            heap = unit_free[assignment[index]]
+            free = heap[0]
+            arrival = arrival_list[index]
+            start = arrival if arrival >= free else free
+            completion = start + service_list[index]
+            heapq.heapreplace(heap, completion)
+            completions[index] = completion
+
+        completion_arr = np.array(completions, dtype=np.float64)
+        latencies = completion_arr - arrivals
+        warmup = int(num_requests * config.warmup_fraction)
+        assignment_arr = np.array(assignment, dtype=np.int64)
+
+        measured_latencies = latencies[warmup:]
+        # Sample order differs from the event engine's completion order, but
+        # every statistic downstream sorts or sums symmetrically.
+        collector = LatencyCollector(warmup_requests=warmup)
+        counts = np.bincount(assignment_arr[warmup:], minlength=config.num_servers)
+        collector.record_batch(
+            measured_latencies,
+            {
+                server: int(count)
+                for server, count in enumerate(counts.tolist())
+                if count > 0
+            },
+        )
+
+        duration = float(completion_arr.max())
+        busy = np.bincount(
+            assignment_arr, weights=services, minlength=config.num_servers
+        )
+        utilizations = busy / (duration * parallelism) if duration > 0 else busy * 0.0
+        return ClusterResult(
+            config=config,
+            latency=collector.stats(),
+            measured_requests=collector.measured,
+            total_requests=num_requests,
+            duration_s=duration,
+            mean_utilization=float(utilizations.mean()),
+            per_server_counts=collector.per_server_counts(),
+        )
+
+
+def simulate_cluster(
+    config: ClusterConfig,
+    num_requests: int = 5_000,
+    seed: int = 1,
+    engine: str = "auto",
+) -> ClusterResult:
     """Convenience wrapper: build and run one cluster simulation."""
-    return ClusterSimulation(config, seed=seed).run(num_requests)
+    return ClusterSimulation(config, seed=seed, engine=engine).run(num_requests)

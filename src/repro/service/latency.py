@@ -5,12 +5,20 @@ reports the metrics the service experiments care about -- mean, median, p95,
 p99 -- plus an SLA predicate.  Percentiles use linear interpolation between
 order statistics (the same convention as ``statistics.quantiles`` with
 ``method="inclusive"``), so small sample sets behave sensibly.
+
+Sample storage is numpy throughout: the collector accumulates into a
+geometrically grown float64 buffer instead of a Python list, and every
+statistic is a vectorized reduction over the (sorted-once) sample array.  The
+public ``samples`` tuple is kept for compatibility -- tests and callers compare
+result sets with ``==``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -20,17 +28,25 @@ class LatencyStats:
     samples: "tuple[float, ...]"
 
     def __post_init__(self) -> None:
-        if not self.samples:
+        if len(self.samples) == 0:
             raise ValueError("LatencyStats needs at least one sample")
 
     @cached_property
-    def _ordered(self) -> "list[float]":
+    def _ordered(self) -> np.ndarray:
         # Sorted once, shared by every percentile query on this instance.
-        return sorted(self.samples)
+        return np.sort(np.asarray(self.samples, dtype=np.float64))
 
     @classmethod
     def from_iterable(cls, samples) -> "LatencyStats":
         return cls(samples=tuple(samples))
+
+    @classmethod
+    def from_array(cls, samples: np.ndarray) -> "LatencyStats":
+        """Build from a numpy array without an intermediate Python list."""
+        stats = cls(samples=tuple(samples.tolist()))
+        # The array is already at hand; seed the sort cache directly.
+        stats.__dict__["_ordered"] = np.sort(samples.astype(np.float64, copy=False))
+        return stats
 
     @property
     def count(self) -> int:
@@ -38,22 +54,27 @@ class LatencyStats:
 
     @property
     def mean_s(self) -> float:
-        return sum(self.samples) / len(self.samples)
+        return float(self._ordered.mean())
 
     @property
     def max_s(self) -> float:
-        return max(self.samples)
+        return float(self._ordered[-1])
 
     def percentile(self, fraction: float) -> float:
         """Latency at the given quantile (``fraction`` in [0, 1])."""
-        if not 0.0 <= fraction <= 1.0:
+        return float(self.percentiles(np.array([fraction]))[0])
+
+    def percentiles(self, fractions: np.ndarray) -> np.ndarray:
+        """Vectorized quantile extraction (linear interpolation, one sort)."""
+        fractions = np.asarray(fractions, dtype=np.float64)
+        if np.any((fractions < 0.0) | (fractions > 1.0)):
             raise ValueError("fraction must be within [0, 1]")
         ordered = self._ordered
         if len(ordered) == 1:
-            return ordered[0]
-        position = fraction * (len(ordered) - 1)
-        low = int(position)
-        high = min(low + 1, len(ordered) - 1)
+            return np.full(fractions.shape, ordered[0])
+        position = fractions * (len(ordered) - 1)
+        low = position.astype(np.int64)
+        high = np.minimum(low + 1, len(ordered) - 1)
         weight = position - low
         return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
@@ -75,27 +96,30 @@ class LatencyStats:
 
     def summary(self, scale: float = 1e3) -> "dict[str, float]":
         """Headline metrics as a dict (milliseconds by default)."""
+        p50, p95, p99 = self.percentiles(np.array([0.50, 0.95, 0.99])) * scale
         return {
             "mean": self.mean_s * scale,
-            "p50": self.p50_s * scale,
-            "p95": self.p95_s * scale,
-            "p99": self.p99_s * scale,
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
             "max": self.max_s * scale,
         }
 
 
-@dataclass
 class LatencyCollector:
     """Accumulates per-request latencies during a cluster simulation.
 
     Requests arriving during the warmup prefix are simulated but excluded from
     the reported statistics, so the measured window starts from a loaded (not
-    empty) cluster.
+    empty) cluster.  Samples land in a preallocated numpy buffer that grows
+    geometrically (amortized O(1) per record).
     """
 
-    warmup_requests: int = 0
-    _samples: "list[float]" = field(default_factory=list)
-    _per_server: "dict[int, int]" = field(default_factory=dict)
+    def __init__(self, warmup_requests: int = 0):
+        self.warmup_requests = warmup_requests
+        self._buffer = np.empty(1024, dtype=np.float64)
+        self._count = 0
+        self._per_server: "dict[int, int]" = {}
 
     def record(self, request_index: int, server_id: int, latency_s: float) -> None:
         """Record one completed request."""
@@ -103,17 +127,37 @@ class LatencyCollector:
             raise ValueError("latency must be non-negative")
         if request_index < self.warmup_requests:
             return
-        self._samples.append(latency_s)
+        if self._count == len(self._buffer):
+            self._buffer = np.concatenate(
+                [self._buffer, np.empty(len(self._buffer), dtype=np.float64)]
+            )
+        self._buffer[self._count] = latency_s
+        self._count += 1
         self._per_server[server_id] = self._per_server.get(server_id, 0) + 1
+
+    def record_batch(
+        self, latencies: np.ndarray, per_server: "dict[int, int]"
+    ) -> None:
+        """Bulk-record already-filtered (post-warmup) samples."""
+        needed = self._count + len(latencies)
+        if needed > len(self._buffer):
+            self._buffer = np.concatenate(
+                [self._buffer[: self._count], np.asarray(latencies, dtype=np.float64)]
+            )
+        else:
+            self._buffer[self._count : needed] = latencies
+        self._count = needed
+        for server_id, count in per_server.items():
+            self._per_server[server_id] = self._per_server.get(server_id, 0) + count
 
     @property
     def measured(self) -> int:
         """Completed requests inside the measurement window."""
-        return len(self._samples)
+        return self._count
 
     def stats(self) -> LatencyStats:
         """Statistics over the measured (post-warmup) requests."""
-        return LatencyStats.from_iterable(self._samples)
+        return LatencyStats.from_array(self._buffer[: self._count].copy())
 
     def per_server_counts(self) -> "dict[int, int]":
         """Measured request count per server (load-balance fairness)."""

@@ -19,6 +19,8 @@ import math
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class DeterministicService:
@@ -33,6 +35,10 @@ class DeterministicService:
     def sample(self, rng: random.Random) -> float:
         return self.mean_s
 
+    def sample_batch(self, rng: random.Random, count: int) -> np.ndarray:
+        """``count`` samples as one array (no random draws needed)."""
+        return np.full(count, self.mean_s, dtype=np.float64)
+
 
 @dataclass(frozen=True)
 class ExponentialService:
@@ -46,6 +52,11 @@ class ExponentialService:
 
     def sample(self, rng: random.Random) -> float:
         return -math.log(1.0 - rng.random()) * self.mean_s
+
+    def sample_batch(self, rng: random.Random, count: int) -> np.ndarray:
+        """``count`` samples, one uniform each, with a vectorized transform."""
+        uniforms = np.array([rng.random() for _ in range(count)], dtype=np.float64)
+        return -np.log1p(-uniforms) * self.mean_s
 
 
 @dataclass(frozen=True)
@@ -71,6 +82,12 @@ class LogNormalService:
         sigma2 = math.log(1.0 + self.cv * self.cv)
         mu = math.log(self.mean_s) - 0.5 * sigma2
         return rng.lognormvariate(mu, math.sqrt(sigma2))
+
+    def sample_batch(self, rng: random.Random, count: int) -> np.ndarray:
+        """``count`` samples; the stdlib lognormal draw stays per-sample."""
+        return np.fromiter(
+            (self.sample(rng) for _ in range(count)), dtype=np.float64, count=count
+        )
 
 
 #: Service-time factories keyed by the names the experiments/CLI use.

@@ -55,15 +55,21 @@ class EventQueue:
     def run(self, until: "float | None" = None, max_events: "int | None" = None) -> float:
         """Run events until the queue empties, ``until`` is reached, or the budget runs out.
 
-        Returns the simulation time when the run stopped.
+        Returns the simulation time when the run stopped.  When ``until`` is
+        given and the run is not cut short by ``max_events``, ``now`` advances
+        to ``until`` even if the heap drained early (or was empty to begin
+        with): the caller asked to simulate that much time, and a later
+        ``schedule_at`` must not see a stale clock.
         """
         executed = 0
         while self._heap:
             if until is not None and self._heap[0][0] > until:
-                self.now = until
                 break
             if max_events is not None and executed >= max_events:
-                break
+                # Budget exhausted mid-run: report the time actually reached.
+                return self.now
             self.step()
             executed += 1
+        if until is not None and until > self.now:
+            self.now = until
         return self.now

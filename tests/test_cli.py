@@ -144,3 +144,42 @@ class TestBench:
         assert code == 0
         assert "wall_s" in out
         assert "table_2_1" in out and "table_5_2" in out
+
+    def test_bench_json_writes_baseline_files(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys,
+            "bench",
+            "--json",
+            "--bench-dir",
+            str(tmp_path),
+            "--set",
+            "duration_cycles=600",
+            "--set",
+            "num_requests=1200",
+        )
+        assert code == 0
+        envelope = json.loads(out)
+        assert envelope["schema"] == 1
+        by_id = {entry["experiment"]: entry for entry in envelope["entries"]}
+        assert set(by_id) == {"figure_4_6", "service_latency_sweep"}
+        for entry in by_id.values():
+            assert entry["units"] > 0
+            assert entry["fastpath"]["wall_s"] > 0
+            assert entry["fastpath"]["cache_status"] == "disabled"
+            assert entry["reference"]["wall_s"] > 0
+            assert entry["speedup"] > 0
+        for domain, experiment in (("noc", "figure_4_6"), ("service", "service_latency_sweep")):
+            payload = json.loads((tmp_path / f"BENCH_{domain}.json").read_text())
+            assert payload["schema"] == 1
+            assert payload["entries"][0]["experiment"] == experiment
+
+    def test_bench_json_unregistered_id_times_fastpath_only(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "bench", "--json", "--bench-dir", str(tmp_path), "table_2_1"
+        )
+        assert code == 0
+        envelope = json.loads(out)
+        (entry,) = envelope["entries"]
+        assert entry["experiment"] == "table_2_1"
+        assert "reference" not in entry
+        assert envelope["files"] == []

@@ -1,0 +1,190 @@
+"""Fastpath/reference equivalence: the SoA kernel must match the object path
+bit for bit -- per-packet latencies and every derived statistic -- on all three
+topologies and across link widths."""
+
+import numpy as np
+import pytest
+
+from repro.noc.fastpath import PacketBatch, sequential_sum
+from repro.noc.network import NocConfig, NocNetwork
+from repro.noc.packet import MessageClass, Packet
+from repro.noc.simulation import PodNocStudy
+from repro.noc.topology import build_flattened_butterfly, build_mesh, build_nocout
+from repro.noc.traffic import BilateralTrafficGenerator
+from repro.workloads import WorkloadSuite, get_workload
+
+TOPOLOGY_BUILDERS = {
+    "mesh": build_mesh,
+    "fbfly": build_flattened_butterfly,
+    "nocout": build_nocout,
+}
+DURATION = 1_200
+ACTIVE_CORES = 32
+
+
+def _traffic(topology, seed=3):
+    generator = BilateralTrafficGenerator(
+        topology, get_workload("Web Search"), per_core_ipc=0.5, seed=seed
+    )
+    return generator
+
+
+@pytest.mark.parametrize("topology_name", ["mesh", "fbfly", "nocout"])
+@pytest.mark.parametrize("link_width_bits", [128, 32])
+class TestFastpathEquivalence:
+    def test_exact_equality_against_reference(self, topology_name, link_width_bits):
+        """Arrival times, hops, and all derived stats are exactly equal."""
+        build = TOPOLOGY_BUILDERS[topology_name]
+        config = NocConfig(link_width_bits=link_width_bits)
+
+        reference = NocNetwork(build(64), config, use_fastpath=False)
+        packets = _traffic(reference.topology).generate(DURATION, ACTIVE_CORES)
+        reference.run(packets)
+        reference_arrivals = {p.packet_id: p.arrival_time for p in reference.delivered}
+        reference_hops = {p.packet_id: p.hops for p in reference.delivered}
+
+        fast = NocNetwork(build(64), config, use_fastpath=True)
+        batch = _traffic(fast.topology).generate_batch(DURATION, ACTIVE_CORES)
+        result = fast.run_batch(batch)
+        fast_arrivals = dict(
+            zip(batch.packet_id.tolist(), result.arrival_time.tolist())
+        )
+        fast_hops = dict(zip(batch.packet_id.tolist(), result.hops.tolist()))
+
+        assert fast_arrivals == reference_arrivals  # exact float equality
+        assert fast_hops == reference_hops
+        assert fast.average_latency() == reference.average_latency()
+        assert fast.average_latency_by_class() == reference.average_latency_by_class()
+        assert fast.average_hops() == reference.average_hops()
+        assert fast.total_flit_hops() == reference.total_flit_hops()
+        assert fast.max_link_utilization(DURATION) == reference.max_link_utilization(
+            DURATION
+        )
+
+    def test_send_matches_batch_kernel(self, topology_name, link_width_bits):
+        """Per-packet ``send`` on the fast path equals the batch kernel."""
+        build = TOPOLOGY_BUILDERS[topology_name]
+        config = NocConfig(link_width_bits=link_width_bits)
+
+        batch_network = NocNetwork(build(64), config, use_fastpath=True)
+        batch = _traffic(batch_network.topology).generate_batch(DURATION, ACTIVE_CORES)
+        result = batch_network.run_batch(batch)
+
+        send_network = NocNetwork(build(64), config, use_fastpath=True)
+        packets = _traffic(send_network.topology).generate(DURATION, ACTIVE_CORES)
+        send_network.run(packets)
+
+        by_id = {p.packet_id: p for p in send_network.delivered}
+        for pid, arrival in zip(batch.packet_id.tolist(), result.arrival_time.tolist()):
+            assert by_id[pid].arrival_time == arrival
+        assert send_network.average_latency() == batch_network.average_latency()
+        assert send_network.total_flit_hops() == batch_network.total_flit_hops()
+
+
+class TestPodStudyEquivalence:
+    def test_full_study_results_identical(self):
+        """`PodNocStudy` rows are exactly equal with and without the fast path."""
+        suite = WorkloadSuite((get_workload("Web Search"), get_workload("Data Serving")))
+        fast = PodNocStudy(duration_cycles=1_000, suite=suite, seed=2, use_fastpath=True)
+        reference = PodNocStudy(
+            duration_cycles=1_000, suite=suite, seed=2, use_fastpath=False
+        )
+        assert fast.evaluate() == reference.evaluate()
+
+    def test_escape_hatch_selects_reference_structures(self):
+        network = NocNetwork(build_mesh(16), use_fastpath=False)
+        assert network._links is not None and network._compiled is None
+        network = NocNetwork(build_mesh(16))
+        assert network._links is None and network._compiled is not None
+
+
+class TestPacketBatch:
+    def test_generate_batch_is_deterministic(self):
+        mesh = build_mesh(64)
+        a = _traffic(mesh, seed=7).generate_batch(DURATION, ACTIVE_CORES)
+        b = _traffic(mesh, seed=7).generate_batch(DURATION, ACTIVE_CORES)
+        for column in ("injection_time", "source", "destination", "class_code", "flits", "packet_id"):
+            assert np.array_equal(getattr(a, column), getattr(b, column))
+
+    def test_different_seeds_differ(self):
+        mesh = build_mesh(64)
+        a = _traffic(mesh, seed=7).generate_batch(DURATION, ACTIVE_CORES)
+        b = _traffic(mesh, seed=8).generate_batch(DURATION, ACTIVE_CORES)
+        assert not np.array_equal(a.injection_time, b.injection_time)
+
+    def test_object_adapter_roundtrip(self):
+        """generate() == generate_batch().to_packets(), field for field."""
+        mesh = build_mesh(64)
+        batch = _traffic(mesh).generate_batch(DURATION, ACTIVE_CORES)
+        packets = _traffic(mesh).generate(DURATION, ACTIVE_CORES)
+        assert len(batch) == len(packets)
+        for packet, (src, dst, t, pid) in zip(
+            packets,
+            zip(
+                batch.source.tolist(),
+                batch.destination.tolist(),
+                batch.injection_time.tolist(),
+                batch.packet_id.tolist(),
+            ),
+        ):
+            assert (packet.source, packet.destination) == (src, dst)
+            assert packet.injection_time == t
+            assert packet.packet_id == pid
+            assert isinstance(packet.source, int)
+
+        rebuilt = PacketBatch.from_packets(packets)
+        assert np.array_equal(rebuilt.injection_time, batch.injection_time)
+        assert np.array_equal(rebuilt.class_code, batch.class_code)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError, match="mismatched length"):
+            PacketBatch(
+                injection_time=np.zeros(3),
+                source=np.zeros(2, dtype=np.int64),
+                destination=np.zeros(3, dtype=np.int64),
+                class_code=np.zeros(3, dtype=np.int64),
+                flits=np.zeros(3, dtype=np.int64),
+                packet_id=np.arange(3),
+            )
+
+
+class TestSequentialSum:
+    def test_matches_python_sum_bitwise(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0, 20_000, 10_001)
+        running = 0.0
+        for value in values.tolist():
+            running += value
+        assert sequential_sum(values) == running
+
+    def test_empty_is_zero(self):
+        assert sequential_sum(np.array([])) == 0.0
+
+
+class TestMixedUsage:
+    def test_multi_batch_stats_stay_bit_identical(self):
+        """Running sums seeded across batches keep exact equality with the
+        reference path's per-packet accumulation (regression: a per-batch
+        subtotal added in one float op diverged in the last ulps)."""
+        config = NocConfig()
+        fast = NocNetwork(build_mesh(64), config, use_fastpath=True)
+        reference = NocNetwork(build_mesh(64), config, use_fastpath=False)
+        for seed in (3, 4, 5):
+            batch = _traffic(fast.topology, seed=seed).generate_batch(600, ACTIVE_CORES)
+            fast.run_batch(batch)
+            reference.run(
+                _traffic(reference.topology, seed=seed).generate(600, ACTIVE_CORES)
+            )
+        assert fast.average_latency() == reference.average_latency()
+        assert fast.average_latency_by_class() == reference.average_latency_by_class()
+        assert fast.total_flit_hops() == reference.total_flit_hops()
+
+    def test_send_after_batch_sees_link_state(self):
+        """Contention persists across run_batch and send on the fast path."""
+        mesh = build_mesh(16)
+        network = NocNetwork(mesh)
+        first = Packet(0, 3, MessageClass.RESPONSE, injection_time=0.0, packet_id=0)
+        second = Packet(0, 3, MessageClass.RESPONSE, injection_time=0.0, packet_id=1)
+        network.run_batch(PacketBatch.from_packets([first]))
+        network.send(second)
+        assert second.latency > mesh.zero_load_latency(0, 3, flits=second.flits)

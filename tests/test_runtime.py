@@ -181,6 +181,20 @@ class TestSweepExecutor:
         executor = SweepExecutor(mode="process", max_workers=2)
         assert executor.map(abs, [(-n,) for n in range(20)]) == list(range(20))
 
+    def test_chunked_map_matches_serial(self):
+        """Chunked process-pool fan-out returns the same ordered results."""
+        points = [(-n,) for n in range(23)]
+        serial = SweepExecutor(mode="serial").map(abs, points)
+        for chunksize in (1, 4, 7, 50):
+            chunked = SweepExecutor(
+                mode="process", max_workers=2, chunksize=chunksize
+            ).map(abs, points)
+            assert chunked == serial
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(chunksize=0)
+
     def test_bare_values_as_points(self):
         assert SweepExecutor(mode="serial").map(abs, [-1, -2]) == [1, 2]
 

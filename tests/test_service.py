@@ -169,6 +169,38 @@ class TestClusterSimulation:
             )
             assert jsq.latency.mean_s <= rnd.latency.mean_s
 
+    @pytest.mark.parametrize("policy", ["random", "round_robin"])
+    def test_fast_engine_matches_event_engine(self, policy):
+        """The heap-recurrence fast engine reproduces the event engine exactly
+        for state-free policies: same sorted latencies, counts, and duration."""
+        import numpy as np
+
+        config = small_cluster(0.85, policy=policy)
+        fast = simulate_cluster(config, num_requests=2_500, seed=11, engine="fast")
+        event = simulate_cluster(config, num_requests=2_500, seed=11, engine="event")
+        assert np.array_equal(
+            np.sort(np.array(fast.latency.samples)),
+            np.sort(np.array(event.latency.samples)),
+        )
+        assert fast.per_server_counts == event.per_server_counts
+        assert fast.duration_s == event.duration_s
+        assert fast.latency.p99_s == event.latency.p99_s
+        assert fast.mean_utilization == pytest.approx(event.mean_utilization)
+
+    def test_auto_engine_selection(self):
+        from repro.service.cluster import ClusterSimulation
+
+        assert ClusterSimulation(small_cluster(0.5, policy="random")).resolved_engine() == "fast"
+        assert ClusterSimulation(small_cluster(0.5, policy="jsq")).resolved_engine() == "event"
+
+    def test_fast_engine_rejects_stateful_policy(self):
+        from repro.service.cluster import ClusterSimulation
+
+        with pytest.raises(ValueError, match="event engine"):
+            ClusterSimulation(small_cluster(0.5, policy="jsq"), engine="fast")
+        with pytest.raises(ValueError, match="engine must be"):
+            ClusterSimulation(small_cluster(0.5), engine="warp")
+
     def test_p99_rises_with_offered_load(self):
         p99s = []
         for utilization in (0.5, 0.7, 0.9, 1.1):

@@ -68,6 +68,36 @@ class TestEventQueue:
         with pytest.raises(ValueError):
             queue.schedule_at(1, lambda: None)
 
+    def test_run_until_advances_on_empty_heap(self):
+        """Regression: ``run(until=...)`` must advance ``now`` even when no
+        event is pending past (or before) the horizon."""
+        queue = EventQueue()
+        assert queue.run(until=10) == 10
+        assert queue.now == 10
+        # A later schedule_at inside the simulated window is not "in the past".
+        queue.schedule_at(12, lambda: None)
+        queue.run()
+        assert queue.now == 12
+
+    def test_run_until_advances_when_events_drain_early(self):
+        queue = EventQueue()
+        queue.schedule(3, lambda: None)
+        assert queue.run(until=10) == 10
+        assert queue.processed == 1
+
+    def test_run_until_does_not_rewind(self):
+        queue = EventQueue()
+        queue.schedule(8, lambda: None)
+        queue.run()
+        assert queue.run(until=5) == 8
+
+    def test_max_events_budget_does_not_jump_to_until(self):
+        queue = EventQueue()
+        for t in (1, 2, 3):
+            queue.schedule(t, lambda: None)
+        assert queue.run(until=10, max_events=2) == 2
+        assert queue.pending == 1
+
 
 class TestSetAssociativeCache:
     def test_hit_after_fill(self):
