@@ -1,0 +1,57 @@
+"""Design-space exploration (DSE) on top of the chapter models.
+
+The paper's contribution is a *methodology* for choosing a scale-out design;
+this package turns the repo's models into a reusable exploration engine:
+
+* :mod:`repro.dse.space` -- declarative :class:`DesignSpace` (named axes plus
+  parameter/metric :class:`Constraint` predicates, enumeration, sampling);
+* :mod:`repro.dse.evaluate` -- picklable candidate evaluators routing each
+  point through the chip, TCO, and service models;
+* :mod:`repro.dse.pareto` -- multi-objective dominance, frontier extraction
+  (optionally grouped), 2-D frontier slices, and knee-point selection;
+* :mod:`repro.dse.explorer` -- the :class:`Explorer` tying them together with
+  the runtime's executor fan-out and content-addressed evaluation cache;
+* :mod:`repro.dse.studies` -- the catalogued ``kind="explore"`` studies behind
+  ``python -m repro explore``.
+"""
+
+from repro.dse.evaluate import (
+    EVALUATORS,
+    evaluate_chip_candidate,
+    evaluate_sizing_candidate,
+    evaluation_token,
+    suite_for,
+)
+from repro.dse.explorer import DEFAULT_EVALUATION_CACHE, ExplorationResult, Explorer
+from repro.dse.pareto import (
+    Objective,
+    dominates,
+    frontier_2d,
+    knee_point,
+    pareto_frontier,
+)
+from repro.dse.space import Axis, Constraint, DesignSpace, EmptyDesignSpaceError
+from repro.dse.studies import explore_pod_40nm, explore_scaling_20nm, explore_sla_sizing
+
+__all__ = [
+    "Axis",
+    "Constraint",
+    "DEFAULT_EVALUATION_CACHE",
+    "DesignSpace",
+    "EmptyDesignSpaceError",
+    "EVALUATORS",
+    "ExplorationResult",
+    "Explorer",
+    "Objective",
+    "dominates",
+    "evaluate_chip_candidate",
+    "evaluate_sizing_candidate",
+    "evaluation_token",
+    "explore_pod_40nm",
+    "explore_scaling_20nm",
+    "explore_sla_sizing",
+    "frontier_2d",
+    "knee_point",
+    "pareto_frontier",
+    "suite_for",
+]

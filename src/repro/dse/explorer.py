@@ -1,0 +1,200 @@
+"""The explorer: enumerate a design space, evaluate it, extract the frontier.
+
+:class:`Explorer` wires the DSE layer into the experiment runtime: candidates
+come from a :class:`~repro.dse.space.DesignSpace`, evaluations fan out over a
+:class:`~repro.runtime.SweepExecutor` (serial and parallel runs are
+bit-identical because candidate order and the evaluators are deterministic),
+and every evaluation is deduplicated through a content-addressed
+:class:`~repro.runtime.ResultCache` -- re-exploring an overlapping space, or
+re-running with a warm cache, performs zero model re-evaluations.
+
+The result is an :class:`ExplorationResult`: every evaluated candidate (with a
+``feasible`` flag from the space's metric constraints and an ``on_frontier``
+flag from Pareto dominance), the frontier subset, and a knee-point selection
+per frontier group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.dse.evaluate import candidate_label, evaluation_token, run_evaluator
+from repro.dse.pareto import Objective, group_label, knee_point, pareto_frontier
+from repro.dse.space import DesignSpace, EmptyDesignSpaceError
+from repro.runtime.cache import ResultCache, result_key
+from repro.runtime.executor import SweepExecutor
+
+#: Process-wide evaluation cache; add a disk tier by setting ``REPRO_CACHE_DIR``.
+DEFAULT_EVALUATION_CACHE = ResultCache.from_env()
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration produced.
+
+    Attributes:
+        rows: one dictionary per evaluated candidate -- axis values, metrics,
+            ``candidate`` label, ``feasible``, and ``on_frontier`` flags -- in
+            enumeration order.
+        frontier: the Pareto-optimal subset of the feasible rows (same
+            dictionaries, same relative order).
+        knees: knee-point selection per frontier group (one entry keyed ``""``
+            when the exploration is ungrouped).
+        objectives: the objectives dominance was evaluated under.
+        group_by: the grouping key(s), if any.
+        stats: exploration accounting (space size, evaluations, cache hits...).
+    """
+
+    rows: "list[dict[str, object]]"
+    frontier: "list[dict[str, object]]"
+    knees: "dict[str, dict[str, object]]"
+    objectives: "tuple[Objective, ...]"
+    group_by: "str | tuple[str, ...] | None" = None
+    stats: "dict[str, object]" = field(default_factory=dict)
+
+    def payload(self) -> "dict[str, object]":
+        """JSON-able envelope body consumed by the CLI and the catalog specs."""
+        return {
+            "objectives": [objective.describe() for objective in self.objectives],
+            "group_by": list(self.group_by) if isinstance(self.group_by, tuple) else self.group_by,
+            "candidates": self.rows,
+            "frontier": self.frontier,
+            "knees": self.knees,
+            "stats": self.stats,
+        }
+
+
+class Explorer:
+    """Evaluates a :class:`DesignSpace` and extracts its Pareto frontier.
+
+    Args:
+        space: the design space to explore.
+        objectives: dominance objectives over the evaluators' metric names.
+        evaluator: registered evaluator name (``"chip"`` or ``"sizing"``).
+        fixed_params: parameters merged into every candidate before evaluation
+            (e.g. the sizing study's ``target_qps``); part of the cache key.
+        group_by: optional axis name(s) partitioning frontier extraction
+            (e.g. ``"core_type"`` for the paper's separate OoO/in-order tracks).
+        executor: sweep executor for fan-out (a default ``auto`` one if omitted).
+        cache: evaluation cache; defaults to the process-wide
+            :data:`DEFAULT_EVALUATION_CACHE`.
+        use_cache: disable to force every candidate through the models.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: "Sequence[Objective]",
+        evaluator: str = "chip",
+        fixed_params: "Mapping[str, object] | None" = None,
+        group_by: "str | Sequence[str] | None" = None,
+        executor: "SweepExecutor | None" = None,
+        cache: "ResultCache | None" = None,
+        use_cache: bool = True,
+    ):
+        if not objectives:
+            raise ValueError("an Explorer needs at least one objective")
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.evaluator = evaluator
+        self.token = evaluation_token(evaluator)  # validates the name
+        self.fixed_params = dict(fixed_params or {})
+        self.group_by = tuple(group_by) if isinstance(group_by, (list, tuple)) else group_by
+        self.executor = executor or SweepExecutor()
+        self.cache = cache if cache is not None else DEFAULT_EVALUATION_CACHE
+        self.use_cache = use_cache
+
+    # ------------------------------------------------------------ evaluation
+    def _evaluate(
+        self, candidates: "list[dict[str, object]]"
+    ) -> "tuple[list[dict[str, object]], int]":
+        """Metrics per candidate (enumeration order) and the cache-hit count."""
+        merged = [{**self.fixed_params, **candidate} for candidate in candidates]
+        keys = [result_key(self.token, params) for params in merged]
+        metrics: "list[dict[str, object] | None]" = []
+        hits = 0
+        if self.use_cache:
+            for key in keys:
+                cached = self.cache.get(key)
+                metrics.append(cached if isinstance(cached, dict) else None)
+                hits += metrics[-1] is not None
+        else:
+            metrics = [None] * len(merged)
+        missing = [i for i, value in enumerate(metrics) if value is None]
+        if missing:
+            computed = self.executor.map(
+                run_evaluator, [(self.evaluator, merged[i]) for i in missing]
+            )
+            for i, value in zip(missing, computed):
+                metrics[i] = value  # type: ignore[assignment]
+                if self.use_cache:
+                    self.cache.put(keys[i], value)
+        return metrics, hits  # type: ignore[return-value]
+
+    # ------------------------------------------------------------ exploration
+    def explore(
+        self, sample: "int | None" = None, seed: int = 0
+    ) -> ExplorationResult:
+        """Run the exploration (optionally over a seeded sample of the space).
+
+        Raises:
+            EmptyDesignSpaceError: when the parameter constraints prune every
+                candidate, or the metric constraints leave nothing feasible.
+        """
+        candidates = (
+            self.space.sample(sample, seed) if sample is not None else self.space.enumerate()
+        )
+        metrics, cache_hits = self._evaluate(candidates)
+
+        rows: "list[dict[str, object]]" = []
+        for candidate, metric in zip(candidates, metrics):
+            feasible = all(
+                constraint.accepts(metric) for constraint in self.space.metric_constraints
+            )
+            rows.append(
+                {
+                    "candidate": candidate_label(candidate),
+                    **candidate,
+                    **metric,
+                    "feasible": feasible,
+                }
+            )
+        feasible_rows = [row for row in rows if row["feasible"]]
+        if not feasible_rows:
+            names = [c.name for c in self.space.metric_constraints]
+            raise EmptyDesignSpaceError(
+                f"all {len(rows)} evaluated candidates violate the metric "
+                f"constraints {names}; relax a constraint or widen an axis"
+            )
+
+        frontier = pareto_frontier(feasible_rows, self.objectives, self.group_by)
+        frontier_ids = {id(row) for row in frontier}
+        for row in rows:
+            row["on_frontier"] = id(row) in frontier_ids
+
+        knees: "dict[str, dict[str, object]]" = {}
+        by_group: "dict[str, list[dict[str, object]]]" = {}
+        for row in frontier:
+            by_group.setdefault(group_label(row, self.group_by), []).append(row)
+        for label, members in by_group.items():
+            knee = knee_point(members, self.objectives)
+            if knee is not None:
+                knees[label] = knee
+
+        stats = {
+            "space_size": self.space.size,
+            "candidates": len(rows),
+            "evaluated": len(rows) - cache_hits,
+            "cache_hits": cache_hits,
+            "feasible": len(feasible_rows),
+            "frontier_size": len(frontier),
+        }
+        return ExplorationResult(
+            rows=rows,
+            frontier=frontier,
+            knees=knees,
+            objectives=self.objectives,
+            group_by=self.group_by,
+            stats=stats,
+        )

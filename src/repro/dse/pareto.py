@@ -1,0 +1,189 @@
+"""Multi-objective Pareto dominance, frontier extraction, and knee selection.
+
+The exploration studies compare candidates on several incommensurable metrics
+at once -- performance density, performance per TCO dollar, performance per
+watt, p99 latency -- so there is no single "best" design, only the set of
+non-dominated ones.  This module provides:
+
+* :class:`Objective` -- a named metric with a sense (maximize or minimize);
+* :func:`dominates` -- strict Pareto dominance between two metric rows;
+* :func:`pareto_frontier` -- the non-dominated subset, optionally grouped
+  (e.g. one frontier per core family, mirroring the paper's separate OoO and
+  in-order design tracks);
+* :func:`frontier_2d` -- a two-objective frontier sorted for plotting;
+* :func:`knee_point` -- the balanced pick on a frontier: the candidate closest
+  to the utopia point after per-objective min-max normalization.
+
+All functions operate on plain row dictionaries (``{metric: value, ...}``) and
+preserve input order, so serial and parallel exploration produce identical
+frontiers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+_SENSES = ("max", "min")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named optimization objective over a metric column.
+
+    Attributes:
+        metric: key of the metric in candidate rows.
+        sense: ``"max"`` (higher is better) or ``"min"`` (lower is better).
+    """
+
+    metric: str
+    sense: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.sense not in _SENSES:
+            raise ValueError(f"sense must be one of {_SENSES}, got {self.sense!r}")
+
+    @classmethod
+    def maximize(cls, metric: str) -> "Objective":
+        """Objective preferring larger values of ``metric``."""
+        return cls(metric, "max")
+
+    @classmethod
+    def minimize(cls, metric: str) -> "Objective":
+        """Objective preferring smaller values of ``metric``."""
+        return cls(metric, "min")
+
+    def oriented(self, row: "Mapping[str, object]") -> float:
+        """The metric value oriented so that larger is always better."""
+        value = float(row[self.metric])  # type: ignore[arg-type]
+        return value if self.sense == "max" else -value
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``"max performance_density"``."""
+        return f"{self.sense} {self.metric}"
+
+
+def dominates(
+    a: "Mapping[str, object]",
+    b: "Mapping[str, object]",
+    objectives: "Sequence[Objective]",
+) -> bool:
+    """Whether row ``a`` Pareto-dominates row ``b``.
+
+    ``a`` dominates ``b`` when it is at least as good on every objective and
+    strictly better on at least one.  Rows tied on every objective do not
+    dominate each other, so ties survive onto the frontier together.
+    """
+    if not objectives:
+        raise ValueError("dominance needs at least one objective")
+    strictly_better = False
+    for objective in objectives:
+        va, vb = objective.oriented(a), objective.oriented(b)
+        if va < vb:
+            return False
+        if va > vb:
+            strictly_better = True
+    return strictly_better
+
+
+def _group_key(row: "Mapping[str, object]", group_by: "str | Sequence[str] | None"):
+    if group_by is None:
+        return None
+    if isinstance(group_by, str):
+        return row[group_by]
+    return tuple(row[name] for name in group_by)
+
+
+def group_label(row: "Mapping[str, object]", group_by: "str | Sequence[str] | None") -> str:
+    """JSON-friendly label of a row's group (empty string when ungrouped)."""
+    key = _group_key(row, group_by)
+    if key is None:
+        return ""
+    if isinstance(key, tuple):
+        return " / ".join(str(part) for part in key)
+    return str(key)
+
+
+def pareto_frontier(
+    rows: "Sequence[Mapping[str, object]]",
+    objectives: "Sequence[Objective]",
+    group_by: "str | Sequence[str] | None" = None,
+) -> "list[Mapping[str, object]]":
+    """The non-dominated subset of ``rows``, in input order.
+
+    Args:
+        rows: candidate rows carrying every objective's metric.
+        objectives: the objectives defining dominance.
+        group_by: optional row key (or keys) partitioning the rows; dominance
+            is then evaluated within each partition and the union of the
+            per-group frontiers is returned.  The paper compares OoO and
+            in-order designs separately, so the pod studies group by core type.
+
+    A single-row input is its own frontier; exact duplicates on all objectives
+    all survive (no arbitrary tie-breaking).
+    """
+    if not rows:
+        return []
+    groups: "dict[object, list[Mapping[str, object]]]" = {}
+    for row in rows:
+        groups.setdefault(_group_key(row, group_by), []).append(row)
+    frontier_ids = set()
+    for members in groups.values():
+        for row in members:
+            if not any(
+                dominates(other, row, objectives)
+                for other in members
+                if other is not row
+            ):
+                frontier_ids.add(id(row))
+    return [row for row in rows if id(row) in frontier_ids]
+
+
+def frontier_2d(
+    rows: "Sequence[Mapping[str, object]]",
+    x: Objective,
+    y: Objective,
+) -> "list[Mapping[str, object]]":
+    """Two-objective frontier sorted by the ``x`` metric (ascending).
+
+    This is the plottable trade-off curve between exactly two objectives
+    (e.g. monthly TCO versus p99 latency), extracted regardless of how many
+    objectives the full exploration used.
+    """
+    frontier = pareto_frontier(rows, (x, y))
+    return sorted(frontier, key=lambda row: float(row[x.metric]))  # type: ignore[arg-type]
+
+
+def knee_point(
+    rows: "Sequence[Mapping[str, object]]",
+    objectives: "Sequence[Objective]",
+) -> "Mapping[str, object] | None":
+    """The balanced frontier pick: closest to the utopia point.
+
+    Each objective is min-max normalized over ``rows`` and oriented so 1.0 is
+    best; the knee is the row minimizing Euclidean distance to the all-ones
+    utopia point.  Degenerate objectives (no spread across the rows) contribute
+    nothing to the distance.  Returns ``None`` for an empty input and the row
+    itself for a single-row input.  Ties break toward the earlier row, keeping
+    the selection deterministic.
+    """
+    if not rows:
+        return None
+    if len(rows) == 1:
+        return rows[0]
+    spans = []
+    for objective in objectives:
+        values = [objective.oriented(row) for row in rows]
+        spans.append((objective, min(values), max(values)))
+    best_row, best_distance = None, math.inf
+    for row in rows:
+        distance = 0.0
+        for objective, lo, hi in spans:
+            if hi <= lo:
+                continue
+            normalized = (objective.oriented(row) - lo) / (hi - lo)
+            distance += (1.0 - normalized) ** 2
+        if distance < best_distance:
+            best_row, best_distance = row, distance
+    return best_row

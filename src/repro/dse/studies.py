@@ -1,0 +1,242 @@
+"""Catalogued design-space explorations (``kind="explore"`` specs).
+
+Three ready-made explorations ship with the catalog, each an instance of the
+paper's central question -- *which scale-out design should you build?* -- asked
+through the :class:`~repro.dse.explorer.Explorer`:
+
+* :func:`explore_pod_40nm` -- the 40 nm pod design space (core model x pod
+  size x LLC capacity x pods per chip).  The paper's chosen Scale-Out designs
+  (2x16-core/4 MB OoO pods, 3x32-core/2 MB in-order pods) emerge as Pareto
+  frontier points of their core families.
+* :func:`explore_scaling_20nm` -- the same space across the 40 nm and 20 nm
+  nodes, grouped per (node, core family), showing how the frontier moves with
+  technology scaling.
+* :func:`explore_sla_sizing` -- an SLA-constrained exploration: candidates are
+  sized to a QPS target under a p99 SLA and compared on monthly TCO versus
+  achieved tail latency; infeasible SLAs are filtered by a metric constraint.
+
+Every function returns a JSON-able payload (``candidates`` / ``frontier`` /
+``knees`` / ``stats``) and accepts an ``executor`` so the runtime can fan
+candidates out in parallel.  Evaluations are deduplicated through the
+content-addressed cache (``evaluation_cache`` overrides where, and
+``use_evaluation_cache=False`` forces every candidate through the models;
+the CLI's ``--cache-dir`` / ``--no-cache`` flags map onto both).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.designs import build_scale_out
+from repro.dse.explorer import Explorer
+from repro.dse.pareto import Objective
+from repro.dse.space import Axis, Constraint, DesignSpace
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
+from repro.technology.node import get_node
+
+#: Chip-level objectives shared by the pod and scaling studies.
+CHIP_OBJECTIVES = (
+    Objective.maximize("performance_density"),
+    Objective.maximize("performance_per_watt"),
+    Objective.maximize("performance"),
+)
+
+#: Budget-feasibility constraint every chip candidate must satisfy.
+FITS_BUDGETS = Constraint("fits_chip_budgets", lambda metrics: bool(metrics["fits_budgets"]))
+
+
+def _pod_space(
+    core_types: "Sequence[str]",
+    cores_per_pod: "Sequence[int]",
+    llc_per_pod_mb: "Sequence[float]",
+    pods_per_chip: "Sequence[int]",
+    nodes: "Sequence[str]",
+    interconnects: "Sequence[str]",
+) -> DesignSpace:
+    """The chip design space shared by the pod and scaling explorations."""
+    return DesignSpace(
+        axes=(
+            Axis("core_type", tuple(core_types)),
+            Axis("cores_per_pod", tuple(cores_per_pod)),
+            Axis("llc_per_pod_mb", tuple(llc_per_pod_mb)),
+            Axis("pods_per_chip", tuple(pods_per_chip)),
+            Axis("node", tuple(nodes)),
+            Axis("interconnect", tuple(interconnects)),
+        ),
+        metric_constraints=(FITS_BUDGETS,),
+    )
+
+
+def _paper_designs(
+    nodes: "Sequence[str]", core_types: "Sequence[str]", rows: "list[dict[str, object]]"
+) -> "list[dict[str, object]]":
+    """The methodology's chosen designs, checked against the explored frontier."""
+    chosen = []
+    for node_name in nodes:
+        for core_type in core_types:
+            chip = build_scale_out(core_type, get_node(node_name))
+            match = [
+                row
+                for row in rows
+                if row.get("core_type") == core_type
+                and row.get("node") == node_name
+                and row.get("cores_per_pod") == chip.pod.cores
+                and row.get("llc_per_pod_mb") == chip.pod.llc_capacity_mb
+                and row.get("pods_per_chip") == chip.num_pods
+            ]
+            chosen.append(
+                {
+                    "design": chip.name,
+                    "node": node_name,
+                    "core_type": core_type,
+                    "cores_per_pod": chip.pod.cores,
+                    "llc_per_pod_mb": chip.pod.llc_capacity_mb,
+                    "pods_per_chip": chip.num_pods,
+                    "in_space": bool(match),
+                    "on_frontier": bool(match) and bool(match[0]["on_frontier"]),
+                }
+            )
+    return chosen
+
+
+def explore_pod_40nm(
+    core_types: "Sequence[str]" = ("ooo", "inorder"),
+    cores_per_pod: "Sequence[int]" = (8, 16, 32, 64),
+    llc_per_pod_mb: "Sequence[float]" = (1.0, 2.0, 4.0, 8.0),
+    pods_per_chip: "Sequence[int]" = (1, 2, 3, 4, 6, 8),
+    interconnect: str = "crossbar",
+    sample: "int | None" = None,
+    seed: int = 0,
+    use_evaluation_cache: bool = True,
+    evaluation_cache: "ResultCache | None" = None,
+    executor: "SweepExecutor | None" = None,
+) -> "dict[str, object]":
+    """The 40 nm pod design space; the paper's chosen designs are frontier points.
+
+    Dominance is evaluated per core family (``group_by="core_type"``), matching
+    the paper's separate OoO and in-order design tracks, over performance
+    density, performance per watt, and raw chip performance.
+    """
+    space = _pod_space(
+        core_types, cores_per_pod, llc_per_pod_mb, pods_per_chip, ("40nm",), (interconnect,)
+    )
+    explorer = Explorer(
+        space,
+        objectives=CHIP_OBJECTIVES,
+        evaluator="chip",
+        group_by="core_type",
+        executor=executor,
+        cache=evaluation_cache,
+        use_cache=use_evaluation_cache,
+    )
+    result = explorer.explore(sample=sample, seed=seed)
+    payload = result.payload()
+    payload["space"] = space.describe()
+    payload["paper_designs"] = _paper_designs(("40nm",), core_types, result.rows)
+    return payload
+
+
+def explore_scaling_20nm(
+    core_types: "Sequence[str]" = ("ooo", "inorder"),
+    cores_per_pod: "Sequence[int]" = (16, 32, 64),
+    llc_per_pod_mb: "Sequence[float]" = (2.0, 4.0, 8.0),
+    pods_per_chip: "Sequence[int]" = (1, 2, 4, 6),
+    interconnect: str = "crossbar",
+    sample: "int | None" = None,
+    seed: int = 0,
+    use_evaluation_cache: bool = True,
+    evaluation_cache: "ResultCache | None" = None,
+    executor: "SweepExecutor | None" = None,
+) -> "dict[str, object]":
+    """Technology-scaling study: the pod space explored at 40 nm and 20 nm.
+
+    Frontiers are extracted per (node, core family), so the payload shows how
+    the Pareto set shifts when logic shrinks 4x while memory interfaces and
+    bandwidth budgets stay fixed -- the paper's Section 2.4.1 projection.
+    """
+    space = _pod_space(
+        core_types,
+        cores_per_pod,
+        llc_per_pod_mb,
+        pods_per_chip,
+        ("40nm", "20nm"),
+        (interconnect,),
+    )
+    explorer = Explorer(
+        space,
+        objectives=CHIP_OBJECTIVES,
+        evaluator="chip",
+        group_by=("node", "core_type"),
+        executor=executor,
+        cache=evaluation_cache,
+        use_cache=use_evaluation_cache,
+    )
+    result = explorer.explore(sample=sample, seed=seed)
+    payload = result.payload()
+    payload["space"] = space.describe()
+    return payload
+
+
+def explore_sla_sizing(
+    target_qps: float = 1_000_000.0,
+    sla_p99_ms: float = 25.0,
+    workload: str = "Web Search",
+    core_types: "Sequence[str]" = ("ooo", "inorder"),
+    cores_per_pod: "Sequence[int]" = (16, 32),
+    llc_per_pod_mb: "Sequence[float]" = (2.0, 4.0),
+    pods_per_chip: "Sequence[int]" = (1, 2, 3),
+    memory_gb: "Sequence[int]" = (32, 64),
+    interconnect: str = "crossbar",
+    sample: "int | None" = None,
+    seed: int = 0,
+    use_evaluation_cache: bool = True,
+    evaluation_cache: "ResultCache | None" = None,
+    executor: "SweepExecutor | None" = None,
+) -> "dict[str, object]":
+    """SLA-constrained sizing exploration: monthly TCO versus achieved p99.
+
+    Every candidate chip is sized to the minimum cluster serving
+    ``target_qps`` within the p99 SLA; candidates whose zero-load tail latency
+    already violates the SLA (or whose chip breaks the die budgets) are
+    filtered by metric constraints.  The frontier trades monthly TCO against
+    achieved p99, and the knee is the balanced deployment choice.
+    """
+    space = DesignSpace(
+        axes=(
+            Axis("core_type", tuple(core_types)),
+            Axis("cores_per_pod", tuple(cores_per_pod)),
+            Axis("llc_per_pod_mb", tuple(llc_per_pod_mb)),
+            Axis("pods_per_chip", tuple(pods_per_chip)),
+            Axis("memory_gb", tuple(memory_gb)),
+            Axis("node", ("40nm",)),
+            Axis("interconnect", (interconnect,)),
+        ),
+        metric_constraints=(
+            FITS_BUDGETS,
+            Constraint("sla_feasible", lambda metrics: bool(metrics["sla_feasible"])),
+        ),
+    )
+    explorer = Explorer(
+        space,
+        objectives=(
+            Objective.minimize("monthly_tco_usd"),
+            Objective.minimize("p99_ms"),
+        ),
+        evaluator="sizing",
+        fixed_params={
+            "workload": workload,
+            "target_qps": target_qps,
+            "sla_p99_ms": sla_p99_ms,
+        },
+        executor=executor,
+        cache=evaluation_cache,
+        use_cache=use_evaluation_cache,
+    )
+    result = explorer.explore(sample=sample, seed=seed)
+    payload = result.payload()
+    payload["space"] = space.describe()
+    payload["target_qps"] = target_qps
+    payload["sla_p99_ms"] = sla_p99_ms
+    payload["workload"] = workload
+    return payload

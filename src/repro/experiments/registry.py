@@ -18,6 +18,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Callable
 
+from repro.dse import studies as dse_studies
 from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6, service
 from repro.runtime import (
     ExperimentResult,
@@ -48,6 +49,9 @@ def _spec(
 #: Chapter number used for beyond-paper studies (the paper evaluates 2-6).
 SERVICE_CHAPTER = 7
 
+#: Chapter number used for design-space explorations (``kind="explore"``).
+DSE_CHAPTER = 8
+
 
 def _study(
     experiment_id: str, function: "Callable[..., object]", produces: str
@@ -56,6 +60,18 @@ def _study(
         experiment_id=experiment_id,
         chapter=SERVICE_CHAPTER,
         kind="study",
+        function=function,
+        produces=produces,
+    )
+
+
+def _explore(
+    experiment_id: str, function: "Callable[..., object]", produces: str
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        chapter=DSE_CHAPTER,
+        kind="explore",
         function=function,
         produces=produces,
     )
@@ -97,6 +113,9 @@ CATALOG = SpecCatalog(
         _study("service_latency_sweep", service.service_latency_sweep, "Load-latency curve (p50/p95/p99) for a service cluster"),
         _study("service_policy_comparison", service.service_policy_comparison, "Load-balancing policies head-to-head at equal load"),
         _study("service_cluster_sizing", service.service_cluster_sizing, "Servers and monthly TCO per design for a QPS target at a p99 SLA"),
+        _explore("explore_pod_40nm", dse_studies.explore_pod_40nm, "40nm pod design space; the paper's chosen designs are frontier points"),
+        _explore("explore_scaling_20nm", dse_studies.explore_scaling_20nm, "Pod design space across 40nm/20nm; frontier shift under scaling"),
+        _explore("explore_sla_sizing", dse_studies.explore_sla_sizing, "SLA-constrained sizing: monthly TCO vs achieved p99 frontier"),
     ]
 )
 

@@ -145,6 +145,7 @@ class CompiledRoute:
 
     @property
     def num_hops(self) -> int:
+        """Number of links the route traverses."""
         return len(self.hops)
 
 

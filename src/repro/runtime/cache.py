@@ -59,15 +59,16 @@ def canonicalize(value: object) -> object:
 def result_key(cache_token: str, kwargs: "Mapping[str, object]") -> str:
     """Content address for (computation, canonicalized kwargs).
 
-    Scheduling-only arguments (``SweepExecutor`` instances) are dropped: they
-    change how points are fanned out, never what the rows contain.
+    Scheduling- and storage-only arguments (``SweepExecutor`` and
+    ``ResultCache`` instances) are dropped: they change how points are fanned
+    out or where evaluations are memoized, never what the rows contain.
     """
     from repro.runtime.executor import SweepExecutor
 
     meaningful = {
         name: value
         for name, value in kwargs.items()
-        if not isinstance(value, SweepExecutor)
+        if not isinstance(value, (SweepExecutor, ResultCache))
     }
     payload = json.dumps(
         {"fn": cache_token, "kwargs": canonicalize(meaningful)},

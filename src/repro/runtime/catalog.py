@@ -40,6 +40,7 @@ class SpecCatalog:
             raise UnknownExperimentError(experiment_id, self._specs) from None
 
     def ids(self) -> "list[str]":
+        """All experiment ids, in registration order."""
         return list(self._specs)
 
     def select(
@@ -54,12 +55,15 @@ class SpecCatalog:
         ]
 
     def by_chapter(self, chapter: int) -> "list[ExperimentSpec]":
+        """All specs belonging to ``chapter``."""
         return self.select(chapter=chapter)
 
     def by_kind(self, kind: str) -> "list[ExperimentSpec]":
+        """All specs of the given kind (figure/table/study/explore)."""
         return self.select(kind=kind)
 
     def chapters(self) -> "list[int]":
+        """Sorted chapter numbers present in the catalog."""
         return sorted({spec.chapter for spec in self._specs.values()})
 
     def __contains__(self, experiment_id: object) -> bool:

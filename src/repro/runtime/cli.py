@@ -5,6 +5,7 @@ Subcommands:
 * ``list`` -- enumerate the catalog, optionally filtered by chapter or kind.
 * ``run`` -- run one or more experiments and print their tables.
 * ``sweep`` -- cross-product parameter sweep over one experiment.
+* ``explore`` -- run a design-space exploration and print its Pareto frontier.
 * ``bench`` -- time every (or selected) experiment with caching off.
 
 ``run`` and ``sweep`` accept repeated ``--set key=value`` overrides (values are
@@ -95,15 +96,22 @@ def _run_one(experiment_id: str, args: argparse.Namespace, **extra: object):
 
     overrides = dict(_parse_overrides(getattr(args, "set", []) or []))
     overrides.update(extra)
+    parameters = inspect.signature(CATALOG.get(experiment_id).function).parameters
     executor = _executor_for(args)
-    if executor is not None:
-        spec = CATALOG.get(experiment_id)
-        if "executor" in inspect.signature(spec.function).parameters:
-            overrides["executor"] = executor
+    if executor is not None and "executor" in parameters:
+        overrides["executor"] = executor
+    # Cache-aware experiments (the explore studies) memoize their internal
+    # model evaluations too; forward the cache flags so --no-cache really
+    # recomputes and --cache-dir persists evaluations across processes.
+    cache = _cache_for(args)
+    if getattr(args, "no_cache", False) and "use_evaluation_cache" in parameters:
+        overrides.setdefault("use_evaluation_cache", False)
+    if cache is not None and "evaluation_cache" in parameters:
+        overrides.setdefault("evaluation_cache", cache)
     return run_experiment(
         experiment_id,
         use_cache=not getattr(args, "no_cache", False),
-        cache=_cache_for(args),
+        cache=cache,
         **overrides,
     )
 
@@ -194,6 +202,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    """Run one ``kind="explore"`` spec and print candidates, frontier, knees."""
+    from repro.experiments.formatting import format_table
+    from repro.experiments.registry import CATALOG
+
+    spec = CATALOG.get(args.id)
+    if spec.kind != "explore":
+        explore_ids = sorted(s.experiment_id for s in CATALOG.by_kind("explore"))
+        raise SystemExit(
+            f"{args.id!r} is a {spec.kind!r} spec, not an exploration; "
+            f"explorations: {explore_ids}"
+        )
+    result = _run_one(args.id, args)
+    payload = result.data if isinstance(result.data, dict) else {}
+    if args.json:
+        envelope = _envelope(result)
+        # Lift the exploration's headline sections to the top level so scripts
+        # can read the frontier without digging through `data`.
+        envelope["frontier"] = payload.get("frontier", [])
+        envelope["knees"] = payload.get("knees", {})
+        envelope["stats"] = payload.get("stats", {})
+        print(json.dumps(envelope))
+        return 0
+    candidates = payload.get("candidates", [])
+    frontier = payload.get("frontier", [])
+    stats = payload.get("stats", {})
+    print(format_table(frontier, title=f"{args.id}: Pareto frontier"))
+    print()
+    for label, knee in sorted(payload.get("knees", {}).items()):
+        where = f" [{label}]" if label else ""
+        print(f"# knee{where}: {knee.get('candidate', '?')}")
+    objectives = ", ".join(payload.get("objectives", []))
+    print(f"# objectives: {objectives}")
+    print(
+        f"# {args.id}: candidates={len(candidates)} "
+        f"feasible={stats.get('feasible', '?')} frontier={len(frontier)} "
+        f"evaluated={stats.get('evaluated', '?')} "
+        f"cache_hits={stats.get('cache_hits', '?')} "
+        f"cache={result.cache_status} wall={result.wall_time_s:.3f}s"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.formatting import format_table
     from repro.experiments.registry import CATALOG
@@ -250,6 +301,7 @@ def _cmd_bench_json(args: argparse.Namespace) -> int:
 
 # -------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (all subcommands and flags)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures through the experiment runtime.",
@@ -258,12 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list catalogued experiments")
     p_list.add_argument("--chapter", type=int, default=None,
-                        help="filter by chapter (2-6; 7 = beyond-paper service studies)")
-    p_list.add_argument("--kind", choices=("figure", "table", "study"), default=None,
-                        help="filter by kind")
+                        help="filter by chapter (2-6; 7 = service studies, "
+                             "8 = design-space explorations)")
+    p_list.add_argument("--kind", choices=("figure", "table", "study", "explore"),
+                        default=None, help="filter by kind")
     p_list.set_defaults(func=_cmd_list)
 
     def add_run_flags(p: argparse.ArgumentParser) -> None:
+        """Attach the flags shared by run/sweep/explore/bench to ``p``."""
         p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
                        help="parameter override (repeatable)")
         p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
@@ -287,6 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
+    p_explore = sub.add_parser(
+        "explore", help="run a design-space exploration and print its frontier"
+    )
+    p_explore.add_argument("id", metavar="ID",
+                           help="exploration id (see `list --kind explore`)")
+    add_run_flags(p_explore)
+    p_explore.set_defaults(func=_cmd_explore)
+
     p_bench = sub.add_parser("bench", help="time experiments with caching off")
     p_bench.add_argument("ids", nargs="*", metavar="ID",
                          help="experiment ids (default: all; with --json: the "
@@ -300,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

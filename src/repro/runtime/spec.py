@@ -26,7 +26,8 @@ class ExperimentSpec:
         chapter: evaluation chapter the artifact belongs to (2-6; beyond-paper
             studies use 7).
         kind: ``"figure"`` or ``"table"`` for the paper's artifacts, ``"study"``
-            for beyond-paper experiments (e.g. the service-level studies).
+            for beyond-paper experiments (e.g. the service-level studies), or
+            ``"explore"`` for design-space explorations.
         function: callable that regenerates the data.
         parameters: default keyword arguments applied before caller overrides.
         produces: one-line description of the artifact.
@@ -42,7 +43,7 @@ class ExperimentSpec:
     produces: str = ""
     version: int = 1
 
-    KINDS = ("figure", "table", "study")
+    KINDS = ("figure", "table", "study", "explore")
 
     def __post_init__(self) -> None:
         if self.kind not in self.KINDS:
@@ -96,11 +97,16 @@ class ExperimentResult:
 
     @property
     def rows(self) -> "list[dict[str, object]]":
-        """The data normalized to a list of row dictionaries."""
+        """The data normalized to a list of row dictionaries.
+
+        Dict payloads with a ``"sweep"`` (``figure_3_5``) or ``"candidates"``
+        (exploration studies) list normalize to that list.
+        """
         if isinstance(self.data, dict):
-            sweep = self.data.get("sweep")
-            if isinstance(sweep, list):
-                return sweep
+            for key in ("sweep", "candidates"):
+                value = self.data.get(key)
+                if isinstance(value, list):
+                    return value
             return [self.data]
         if isinstance(self.data, list):
             return self.data
@@ -108,6 +114,7 @@ class ExperimentResult:
 
     @property
     def cached(self) -> bool:
+        """Whether this result was served from the cache."""
         return self.cache_status == "hit"
 
     # Sequence-style delegation so legacy callers can keep treating the result

@@ -19,7 +19,7 @@ class TestList:
         assert code == 0
         assert "figure_4_6" in out and "table_3_2" in out
         assert "service_latency_sweep" in out
-        assert "32 experiments" in out
+        assert "35 experiments" in out
 
     def test_list_filters(self, capsys):
         code, out, _ = run_cli(capsys, "list", "--chapter", "4", "--kind", "table")
@@ -183,3 +183,57 @@ class TestBench:
         assert entry["experiment"] == "table_2_1"
         assert "reference" not in entry
         assert envelope["files"] == []
+
+
+class TestExplore:
+    ARGS = (
+        "--set", "core_types=('ooo',)",
+        "--set", "cores_per_pod=(8,16)",
+        "--set", "llc_per_pod_mb=(4.0,)",
+        "--set", "pods_per_chip=(1,2)",
+    )
+
+    def test_explore_prints_frontier_and_knee(self, capsys):
+        code, out, _ = run_cli(capsys, "explore", "explore_pod_40nm",
+                               "--no-cache", *self.ARGS)
+        assert code == 0
+        assert "Pareto frontier" in out
+        assert "# knee [ooo]:" in out
+        assert "# objectives: max performance_density" in out
+        assert "candidates=4" in out
+
+    def test_explore_json_envelope_carries_candidates_and_frontier(self, capsys):
+        code, out, _ = run_cli(capsys, "explore", "explore_pod_40nm",
+                               "--no-cache", "--json", *self.ARGS)
+        assert code == 0
+        envelope = json.loads(out)
+        assert len(envelope["rows"]) == 4          # every evaluated candidate
+        assert envelope["frontier"]                # the Pareto-optimal subset
+        assert all(row["on_frontier"] for row in envelope["frontier"])
+        assert envelope["stats"]["candidates"] == 4
+        assert envelope["data"]["knees"]
+
+    def test_explore_warm_disk_cache_hits(self, capsys, tmp_path):
+        run_cli(capsys, "explore", "explore_pod_40nm", "--json",
+                "--cache-dir", str(tmp_path), *self.ARGS)
+        code, out, _ = run_cli(capsys, "explore", "explore_pod_40nm", "--json",
+                               "--cache-dir", str(tmp_path), *self.ARGS)
+        assert code == 0
+        envelope = json.loads(out)
+        assert envelope["cache_status"] == "hit"
+        assert len(envelope["rows"]) == 4
+
+    def test_explore_no_cache_reaches_the_evaluation_cache(self, capsys):
+        # --no-cache must disable the per-candidate evaluation cache too:
+        # a second run in the same process re-evaluates everything.
+        for _ in range(2):
+            code, out, _ = run_cli(capsys, "explore", "explore_pod_40nm",
+                                   "--no-cache", "--json", *self.ARGS)
+            assert code == 0
+            stats = json.loads(out)["stats"]
+            assert stats["evaluated"] == 4
+            assert stats["cache_hits"] == 0
+
+    def test_explore_rejects_non_explore_specs(self, capsys):
+        with pytest.raises(SystemExit, match="not an exploration"):
+            run_cli(capsys, "explore", "figure_4_6")

@@ -1,0 +1,326 @@
+"""Tests for the design-space exploration engine (``repro.dse``)."""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    Axis,
+    Constraint,
+    DesignSpace,
+    EmptyDesignSpaceError,
+    Explorer,
+    Objective,
+    dominates,
+    explore_pod_40nm,
+    explore_sla_sizing,
+    frontier_2d,
+    knee_point,
+    pareto_frontier,
+)
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
+
+
+def tiny_space(**overrides):
+    axes = {
+        "core_type": ("ooo",),
+        "cores_per_pod": (8, 16),
+        "llc_per_pod_mb": (2.0, 4.0),
+        "pods_per_chip": (1, 2),
+        "node": ("40nm",),
+        "interconnect": ("crossbar",),
+    }
+    axes.update(overrides)
+    return DesignSpace(axes=tuple(Axis(k, v) for k, v in axes.items()))
+
+
+# --------------------------------------------------------------------- space
+class TestDesignSpace:
+    def test_size_and_enumeration_order(self):
+        space = DesignSpace(
+            axes=(Axis("a", (1, 2)), Axis("b", ("x", "y", "z")))
+        )
+        assert space.size == 6
+        candidates = space.enumerate()
+        assert candidates[0] == {"a": 1, "b": "x"}
+        assert candidates[1] == {"a": 1, "b": "y"}  # row-major: last axis fastest
+        assert candidates[-1] == {"a": 2, "b": "z"}
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            Axis("empty", ())
+        with pytest.raises(ValueError):
+            Axis("dup", (1, 1))
+        with pytest.raises(ValueError):
+            DesignSpace(axes=(Axis("a", (1,)), Axis("a", (2,))))
+        with pytest.raises(ValueError):
+            DesignSpace(axes=())
+
+    def test_parameter_constraints_prune(self):
+        space = DesignSpace(
+            axes=(Axis("a", (1, 2, 3)),),
+            constraints=(Constraint("odd_only", lambda c: c["a"] % 2 == 1),),
+        )
+        assert [c["a"] for c in space.enumerate()] == [1, 3]
+
+    def test_all_filtering_constraint_raises_clear_error(self):
+        space = DesignSpace(
+            axes=(Axis("a", (1, 2)),),
+            constraints=(Constraint("impossible", lambda c: False),),
+        )
+        with pytest.raises(EmptyDesignSpaceError, match="impossible"):
+            space.enumerate()
+
+    def test_sample_is_seeded_and_order_preserving(self):
+        space = DesignSpace(axes=(Axis("a", tuple(range(50))),))
+        first = space.sample(10, seed=3)
+        second = space.sample(10, seed=3)
+        assert first == second
+        values = [c["a"] for c in first]
+        assert values == sorted(values)
+        assert space.sample(99, seed=1) == space.enumerate()
+
+    def test_unknown_axis_lookup(self):
+        space = tiny_space()
+        assert space.axis("node").values == ("40nm",)
+        with pytest.raises(KeyError):
+            space.axis("voltage")
+
+
+# -------------------------------------------------------------------- pareto
+MAX_A = Objective.maximize("a")
+MAX_B = Objective.maximize("b")
+
+
+class TestPareto:
+    def test_dominates_requires_strict_improvement(self):
+        assert dominates({"a": 2, "b": 2}, {"a": 1, "b": 2}, (MAX_A, MAX_B))
+        assert not dominates({"a": 2, "b": 2}, {"a": 2, "b": 2}, (MAX_A, MAX_B))
+        assert not dominates({"a": 2, "b": 1}, {"a": 1, "b": 2}, (MAX_A, MAX_B))
+
+    def test_minimize_sense(self):
+        low, high = {"cost": 1.0}, {"cost": 2.0}
+        assert dominates(low, high, (Objective.minimize("cost"),))
+        assert not dominates(high, low, (Objective.minimize("cost"),))
+
+    def test_single_point_space_is_its_own_frontier(self):
+        rows = [{"a": 1, "b": 1}]
+        assert pareto_frontier(rows, (MAX_A, MAX_B)) == rows
+        assert knee_point(rows, (MAX_A, MAX_B)) is rows[0]
+
+    def test_all_dominated_set_collapses_to_the_dominator(self):
+        rows = [
+            {"a": 1, "b": 1},
+            {"a": 2, "b": 2},
+            {"a": 3, "b": 3},
+        ]
+        assert pareto_frontier(rows, (MAX_A, MAX_B)) == [{"a": 3, "b": 3}]
+
+    def test_tie_on_one_objective_with_strict_other_dominates(self):
+        # Tying on b while strictly better on a is still domination.
+        rows = [{"a": 1.0, "b": 3.0}, {"a": 2.0, "b": 3.0}]
+        assert pareto_frontier(rows, (MAX_A, MAX_B)) == [rows[1]]
+
+    def test_tie_on_one_objective_incomparable_rows_survive(self):
+        rows = [
+            {"a": 1.0, "b": 3.0},  # best b
+            {"a": 2.0, "b": 2.0},  # dominated: rows[2] ties its b, beats its a
+            {"a": 2.5, "b": 2.0},  # best a
+        ]
+        frontier = pareto_frontier(rows, (MAX_A, MAX_B))
+        assert frontier == [rows[0], rows[2]]
+
+    def test_exact_duplicates_all_survive(self):
+        rows = [{"a": 1, "b": 1}, {"a": 1, "b": 1}]
+        assert pareto_frontier(rows, (MAX_A, MAX_B)) == rows
+
+    def test_empty_input(self):
+        assert pareto_frontier([], (MAX_A,)) == []
+        assert knee_point([], (MAX_A,)) is None
+
+    def test_group_by_partitions_dominance(self):
+        rows = [
+            {"g": "x", "a": 1},
+            {"g": "x", "a": 2},
+            {"g": "y", "a": 0.5},  # globally dominated, locally optimal
+        ]
+        assert pareto_frontier(rows, (MAX_A,)) == [rows[1]]
+        assert pareto_frontier(rows, (MAX_A,), group_by="g") == [rows[1], rows[2]]
+
+    def test_frontier_2d_sorted_by_x(self):
+        rows = [
+            {"a": 3.0, "b": 1.0},
+            {"a": 1.0, "b": 3.0},
+            {"a": 2.0, "b": 2.0},
+            {"a": 0.5, "b": 0.5},  # dominated
+        ]
+        curve = frontier_2d(rows, MAX_A, MAX_B)
+        assert [r["a"] for r in curve] == [1.0, 2.0, 3.0]
+
+    def test_knee_picks_the_balanced_point(self):
+        rows = [
+            {"a": 0.0, "b": 1.0},
+            {"a": 0.9, "b": 0.9},
+            {"a": 1.0, "b": 0.0},
+        ]
+        assert knee_point(rows, (MAX_A, MAX_B)) == rows[1]
+
+    def test_degenerate_objective_contributes_nothing(self):
+        rows = [{"a": 1.0, "b": 5.0}, {"a": 2.0, "b": 5.0}]
+        assert knee_point(rows, (MAX_A, MAX_B)) == rows[1]
+
+
+# ------------------------------------------------------------------ explorer
+class TestExplorer:
+    def test_metric_constraint_filtering_everything_raises(self):
+        explorer = Explorer(
+            DesignSpace(
+                axes=tiny_space().axes,
+                metric_constraints=(Constraint("never", lambda m: False),),
+            ),
+            objectives=(Objective.maximize("performance_density"),),
+            cache=ResultCache(),
+        )
+        with pytest.raises(EmptyDesignSpaceError, match="never"):
+            explorer.explore()
+
+    def test_warm_cache_performs_zero_reevaluations(self):
+        cache = ResultCache()
+        space = tiny_space()
+        objectives = (Objective.maximize("performance_density"),)
+        first = Explorer(space, objectives, cache=cache).explore()
+        assert first.stats["evaluated"] == len(first.rows)
+        second = Explorer(space, objectives, cache=cache).explore()
+        assert second.stats["evaluated"] == 0
+        assert second.stats["cache_hits"] == len(second.rows)
+        assert second.rows == first.rows
+        assert second.frontier == first.frontier
+
+    def test_overlapping_space_deduplicates_through_cache(self):
+        cache = ResultCache()
+        objectives = (Objective.maximize("performance_density"),)
+        Explorer(tiny_space(), objectives, cache=cache).explore()
+        wider = tiny_space(cores_per_pod=(8, 16, 32))
+        result = Explorer(wider, objectives, cache=cache).explore()
+        assert result.stats["cache_hits"] == len(tiny_space().enumerate())
+        assert result.stats["evaluated"] == len(result.rows) - result.stats["cache_hits"]
+
+    def test_serial_and_parallel_exploration_identical(self):
+        objectives = (
+            Objective.maximize("performance_density"),
+            Objective.maximize("performance_per_watt"),
+        )
+        serial = Explorer(
+            tiny_space(),
+            objectives,
+            executor=SweepExecutor(mode="serial"),
+            cache=ResultCache(),
+        ).explore()
+        parallel = Explorer(
+            tiny_space(),
+            objectives,
+            executor=SweepExecutor(mode="process", max_workers=2),
+            cache=ResultCache(),
+        ).explore()
+        assert serial.rows == parallel.rows
+        assert serial.frontier == parallel.frontier
+        assert serial.knees == parallel.knees
+
+    def test_payload_is_json_serializable(self):
+        result = Explorer(
+            tiny_space(),
+            (Objective.maximize("performance"),),
+            cache=ResultCache(),
+        ).explore()
+        payload = json.loads(json.dumps(result.payload()))
+        assert len(payload["candidates"]) == len(result.rows)
+        assert payload["stats"]["frontier_size"] == len(payload["frontier"])
+        assert all(row["on_frontier"] for row in payload["frontier"])
+
+    def test_unknown_evaluator_rejected(self):
+        with pytest.raises(KeyError):
+            Explorer(tiny_space(), (Objective.maximize("x"),), evaluator="nope")
+
+
+# ------------------------------------------------------------------- studies
+class TestStudies:
+    def test_pod_40nm_frontier_contains_paper_designs(self):
+        payload = explore_pod_40nm(use_evaluation_cache=False)
+        chosen = payload["paper_designs"]
+        assert {d["design"] for d in chosen} == {"Scale-Out (OoO)", "Scale-Out (In-order)"}
+        assert all(d["in_space"] and d["on_frontier"] for d in chosen)
+        frontier_keys = {
+            (r["core_type"], r["cores_per_pod"], r["llc_per_pod_mb"], r["pods_per_chip"])
+            for r in payload["frontier"]
+        }
+        assert ("ooo", 16, 4.0, 2) in frontier_keys
+        assert ("inorder", 32, 2.0, 3) in frontier_keys
+        # Every candidate is reported, not just the frontier.
+        assert len(payload["candidates"]) == payload["stats"]["candidates"]
+        assert payload["stats"]["feasible"] < payload["stats"]["candidates"]
+
+    def test_sla_sizing_filters_infeasible_and_trades_tco_for_latency(self):
+        payload = explore_sla_sizing(
+            core_types=("ooo",),
+            cores_per_pod=(16,),
+            llc_per_pod_mb=(4.0,),
+            pods_per_chip=(1, 2),
+            memory_gb=(64,),
+            use_evaluation_cache=False,
+        )
+        rows = payload["candidates"]
+        assert all(r["sla_feasible"] for r in rows if r["feasible"])
+        frontier = payload["frontier"]
+        assert frontier
+        for row in frontier:
+            assert row["p99_ms"] <= payload["sla_p99_ms"]
+            assert row["monthly_tco_usd"] > 0
+
+    def test_candidate_labels_distinguish_every_axis(self):
+        # memory_gb is not a chip design knob but must still appear in the
+        # label, or the sizing study's candidates collide.
+        payload = explore_sla_sizing(
+            core_types=("ooo",),
+            cores_per_pod=(16,),
+            llc_per_pod_mb=(4.0,),
+            pods_per_chip=(1,),
+            memory_gb=(32, 64),
+            use_evaluation_cache=False,
+        )
+        labels = [row["candidate"] for row in payload["candidates"]]
+        assert len(set(labels)) == len(labels)
+        assert any("memory_gb=32" in label for label in labels)
+
+    def test_sla_sizing_impossible_sla_raises_clear_error(self):
+        with pytest.raises(EmptyDesignSpaceError, match="sla_feasible"):
+            explore_sla_sizing(
+                sla_p99_ms=1e-6,
+                core_types=("ooo",),
+                cores_per_pod=(16,),
+                llc_per_pod_mb=(4.0,),
+                pods_per_chip=(1,),
+                memory_gb=(64,),
+                use_evaluation_cache=False,
+            )
+
+
+# ------------------------------------------------------------------ runtime
+class TestRuntimeIntegration:
+    def test_explore_spec_runs_through_run_experiment_and_caches(self):
+        from repro.experiments.registry import run_experiment
+
+        cache = ResultCache()
+        kwargs = dict(
+            core_types=("ooo",),
+            cores_per_pod=(8, 16),
+            llc_per_pod_mb=(4.0,),
+            pods_per_chip=(1, 2),
+        )
+        first = run_experiment("explore_pod_40nm", cache=cache, **kwargs)
+        assert first.cache_status == "miss"
+        assert first.rows  # candidates normalize to rows
+        assert {"candidates", "frontier", "knees", "stats"} <= set(first.data)
+        second = run_experiment("explore_pod_40nm", cache=cache, **kwargs)
+        assert second.cache_status == "hit"
+        assert second.data == first.data

@@ -11,7 +11,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "workload_characterization.py"],
+    ["quickstart.py", "workload_characterization.py", "design_space_exploration.py"],
 )
 def test_example_runs(script, capsys):
     runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
@@ -22,4 +22,11 @@ def test_example_runs(script, capsys):
 def test_examples_exist():
     scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "datacenter_tco_study.py", "nocout_pod_design.py",
-            "workload_characterization.py"}.issubset(scripts)
+            "workload_characterization.py", "design_space_exploration.py"}.issubset(scripts)
+
+
+def test_design_space_exploration_reports_free_rerun(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "design_space_exploration.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Pareto frontier" in output
+    assert "evaluated=0" in output  # warm-cache re-exploration runs nothing

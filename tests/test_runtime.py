@@ -54,10 +54,12 @@ class TestSpecCatalog:
         assert CATALOG.select(chapter=4, kind="table")[0].experiment_id == "table_4_1"
 
     def test_catalog_covers_every_chapter(self):
-        # Chapters 2-6 are the paper's evaluation; 7 holds the service studies.
-        assert CATALOG.chapters() == [2, 3, 4, 5, 6, 7]
-        assert len(CATALOG) == 32
+        # Chapters 2-6 are the paper's evaluation; 7 holds the service
+        # studies and 8 the design-space explorations.
+        assert CATALOG.chapters() == [2, 3, 4, 5, 6, 7, 8]
+        assert len(CATALOG) == 35
         assert len(CATALOG.by_kind("study")) == 3
+        assert len(CATALOG.by_kind("explore")) == 3
 
     def test_duplicate_registration_rejected(self):
         spec = CATALOG.get("table_4_1")
