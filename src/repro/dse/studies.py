@@ -27,13 +27,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.designs import build_scale_out
 from repro.dse.explorer import Explorer
 from repro.dse.pareto import Objective
 from repro.dse.space import Axis, Constraint, DesignSpace
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import SweepExecutor
-from repro.technology.node import get_node
 
 #: Chip-level objectives shared by the pod and scaling studies.
 CHIP_OBJECTIVES = (
@@ -66,38 +64,6 @@ def _pod_space(
         ),
         metric_constraints=(FITS_BUDGETS,),
     )
-
-
-def _paper_designs(
-    nodes: "Sequence[str]", core_types: "Sequence[str]", rows: "list[dict[str, object]]"
-) -> "list[dict[str, object]]":
-    """The methodology's chosen designs, checked against the explored frontier."""
-    chosen = []
-    for node_name in nodes:
-        for core_type in core_types:
-            chip = build_scale_out(core_type, get_node(node_name))
-            match = [
-                row
-                for row in rows
-                if row.get("core_type") == core_type
-                and row.get("node") == node_name
-                and row.get("cores_per_pod") == chip.pod.cores
-                and row.get("llc_per_pod_mb") == chip.pod.llc_capacity_mb
-                and row.get("pods_per_chip") == chip.num_pods
-            ]
-            chosen.append(
-                {
-                    "design": chip.name,
-                    "node": node_name,
-                    "core_type": core_type,
-                    "cores_per_pod": chip.pod.cores,
-                    "llc_per_pod_mb": chip.pod.llc_capacity_mb,
-                    "pods_per_chip": chip.num_pods,
-                    "in_space": bool(match),
-                    "on_frontier": bool(match) and bool(match[0]["on_frontier"]),
-                }
-            )
-    return chosen
 
 
 def explore_pod_40nm(
@@ -133,7 +99,6 @@ def explore_pod_40nm(
     result = explorer.explore(sample=sample, seed=seed)
     payload = result.payload()
     payload["space"] = space.describe()
-    payload["paper_designs"] = _paper_designs(("40nm",), core_types, result.rows)
     return payload
 
 

@@ -1,0 +1,41 @@
+"""Reproduction report subsystem: claims, validation, and report rendering.
+
+This package turns the experiment catalog into a *verifiable* artifact:
+
+* :mod:`repro.report.paths` -- the metric-path mini-language addressing
+  values inside experiment results.
+* :mod:`repro.report.claims` -- :class:`PaperClaim` records (published value
+  or qualitative relation + tolerance) and the pass/warn/fail grader.
+* :mod:`repro.report.registry` -- the paper-expected-values registry
+  (:data:`PAPER_CLAIMS`) and its wiring into the spec catalog.
+* :mod:`repro.report.validate` -- :class:`ReportValidator`, fanning claimed
+  experiments through the sweep executor and the result cache.
+* :mod:`repro.report.render` -- Markdown/ASCII/SVG renderers behind
+  ``python -m repro report`` and the committed ``docs/REPORT.md``.
+"""
+
+from repro.report.claims import Grade, GradedClaim, PaperClaim, Tolerance, grade_claim
+from repro.report.paths import AGGREGATES, MetricPathError, resolve_path
+from repro.report.registry import PAPER_CLAIMS, claimed_catalog, register_claims
+from repro.report.render import ascii_sketch, render_markdown, render_svg
+from repro.report.validate import ReportValidator, ValidationRun, select_claims
+
+__all__ = [
+    "AGGREGATES",
+    "Grade",
+    "GradedClaim",
+    "MetricPathError",
+    "PAPER_CLAIMS",
+    "PaperClaim",
+    "ReportValidator",
+    "Tolerance",
+    "ValidationRun",
+    "ascii_sketch",
+    "claimed_catalog",
+    "grade_claim",
+    "register_claims",
+    "render_markdown",
+    "render_svg",
+    "resolve_path",
+    "select_claims",
+]

@@ -1,0 +1,274 @@
+"""Paper claims: declarative expected values with tolerance-checked grading.
+
+A :class:`PaperClaim` records one statement the source paper makes about an
+artifact -- a published number ("fbfly improves geomean performance 1.25x over
+mesh") or a qualitative relation ("the flattened butterfly outperforms the
+mesh at 64 cores") -- together with the experiment that reproduces it, the
+:mod:`metric path <repro.report.paths>` locating the reproduced value, and the
+tolerance within which the reproduction counts as faithful.
+
+Grading (see :func:`grade_claim`) is three-valued:
+
+* ``pass`` -- the value is inside the tolerance band (or the relation holds).
+* ``warn`` -- a value claim is outside the band but within
+  ``warn_factor x`` the band: the reproduction tracks the paper but has
+  drifted; worth a look, not a red build.
+* ``fail`` -- the value is beyond the warn band, a relation is violated, or
+  the metric path does not resolve at all.
+
+Relations may be graded ``warn`` instead of ``fail`` on violation by
+constructing the claim with ``on_violation="warn"`` (used for soft,
+calibration-sensitive statements).
+"""
+
+from __future__ import annotations
+
+import enum
+import numbers
+import operator
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.report.paths import MetricPathError, resolve_path
+
+#: Comparison operators accepted by relation claims.
+RELATION_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Tolerance band for a value claim.
+
+    Attributes:
+        rel: relative bound as a fraction of the expected value (``0.05`` =
+            within 5%); ``None`` disables the relative bound.
+        abs: absolute bound in the metric's own unit; ``None`` disables it.
+        warn_factor: multiplier widening the pass band into the warn band; a
+            deviation beyond ``warn_factor x bound`` grades ``fail``.
+
+    When both bounds are given the *wider* one applies (a reproduction passes
+    if it is inside either).  With neither set the claim demands an exact
+    match (useful for integers such as a selected core count).
+    """
+
+    rel: "float | None" = None
+    abs: "float | None" = None
+    warn_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.rel is not None and self.rel < 0:
+            raise ValueError("rel tolerance must be >= 0")
+        if self.abs is not None and self.abs < 0:
+            raise ValueError("abs tolerance must be >= 0")
+        if self.warn_factor < 1.0:
+            raise ValueError("warn_factor must be >= 1")
+
+    def bound(self, expected: float) -> float:
+        """The half-width of the pass band around ``expected``."""
+        candidates = [0.0]
+        if self.rel is not None:
+            candidates.append(self.rel * abs(expected))
+        if self.abs is not None:
+            candidates.append(self.abs)
+        return max(candidates)
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``±5% rel`` or ``exact``."""
+        parts = []
+        if self.rel is not None:
+            parts.append(f"±{format_value(self.rel * 100)}% rel")
+        if self.abs is not None:
+            parts.append(f"±{format_value(self.abs)} abs")
+        return " or ".join(parts) if parts else "exact"
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One expected-value or relation statement from the source paper.
+
+    Attributes:
+        claim_id: unique slug, e.g. ``"ch4-fbfly-speedup"``.
+        experiment_id: catalog id of the experiment reproducing the value.
+        source: the paper artifact making the statement ("Figure 4.6").
+        description: one-line prose statement of the claim.
+        metric: metric path (see :mod:`repro.report.paths`) of the reproduced
+            value inside the experiment's result envelope.
+        kind: ``"value"`` (numeric expectation with a tolerance band) or
+            ``"relation"`` (comparison against a literal or a second metric).
+        expected: the published value (``kind="value"``), or the literal
+            right-hand side of a relation without ``rhs_metric``.
+        op: relation operator, one of ``< <= > >= == !=``.
+        rhs_metric: metric path for the relation's right-hand side; mutually
+            exclusive with a literal ``expected``.
+        tolerance: the pass/warn band (value claims, and ``==`` relations on
+            floats).
+        on_violation: grade for a violated relation -- ``"fail"`` (default)
+            or ``"warn"`` for soft claims.
+        parameters: experiment parameter overrides this claim is stated under
+            (defaults to the spec's own defaults).
+    """
+
+    claim_id: str
+    experiment_id: str
+    source: str
+    description: str
+    metric: str
+    kind: str = "value"
+    expected: object = None
+    op: str = "=="
+    rhs_metric: "str | None" = None
+    tolerance: Tolerance = field(default_factory=Tolerance)
+    on_violation: str = "fail"
+    parameters: "Mapping[str, object]" = field(default_factory=dict)
+
+    KINDS = ("value", "relation")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {self.kind!r}")
+        if self.kind == "value":
+            if not isinstance(self.expected, numbers.Real) or isinstance(self.expected, bool):
+                raise ValueError(
+                    f"value claim {self.claim_id!r} needs a numeric expected value"
+                )
+        else:
+            if self.op not in RELATION_OPS:
+                raise ValueError(
+                    f"relation op must be one of {sorted(RELATION_OPS)}, got {self.op!r}"
+                )
+            if (self.rhs_metric is None) == (self.expected is None):
+                raise ValueError(
+                    f"relation claim {self.claim_id!r} needs exactly one of "
+                    "expected (literal) or rhs_metric"
+                )
+        if self.on_violation not in ("fail", "warn"):
+            raise ValueError("on_violation must be 'fail' or 'warn'")
+
+    def expected_display(self) -> str:
+        """The claim's right-hand side as compact text for reports."""
+        if self.kind == "value":
+            return f"{format_value(self.expected)} ({self.tolerance.describe()})"
+        rhs = self.rhs_metric if self.rhs_metric is not None else format_value(self.expected)
+        return f"{self.op} {rhs}"
+
+
+class Grade(enum.Enum):
+    """Outcome of checking one claim against its reproduced value."""
+
+    PASS = "pass"
+    WARN = "warn"
+    FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class GradedClaim:
+    """A claim together with its reproduced value and grade.
+
+    Attributes:
+        claim: the graded :class:`PaperClaim`.
+        grade: pass/warn/fail outcome.
+        actual: the value the metric path resolved to (``None`` if resolution
+            failed).
+        detail: one-line explanation of the grade (deviation vs band, the
+            relation instantiated with both sides, or the resolution error).
+    """
+
+    claim: PaperClaim
+    grade: Grade
+    actual: object = None
+    detail: str = ""
+
+
+def format_value(value: object) -> str:
+    """Deterministic compact rendering of claim values for reports.
+
+    Integers print bare, floats with ``.6g`` precision, and everything else
+    (bools, strings) via ``repr`` -- shared by the grader's detail strings and
+    the Markdown/ASCII/SVG renderers so a value never renders two ways.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        return repr(value)
+    if isinstance(value, numbers.Integral):
+        return str(int(value))
+    return format(float(value), ".6g")
+
+
+def _grade_value(claim: PaperClaim, actual: object) -> GradedClaim:
+    if not isinstance(actual, numbers.Real) or isinstance(actual, bool):
+        return GradedClaim(
+            claim, Grade.FAIL, actual,
+            f"expected a number, metric resolved to {actual!r}",
+        )
+    expected = float(claim.expected)  # type: ignore[arg-type]
+    deviation = abs(float(actual) - expected)
+    bound = claim.tolerance.bound(expected)
+    if deviation <= bound:
+        grade = Grade.PASS
+    elif deviation <= claim.tolerance.warn_factor * bound:
+        grade = Grade.WARN
+    else:
+        grade = Grade.FAIL
+    detail = f"Δ={format_value(deviation)} vs band ±{format_value(bound)}"
+    if bound == 0.0:
+        detail = "exact match" if deviation == 0.0 else f"Δ={format_value(deviation)} vs exact"
+    return GradedClaim(claim, grade, actual, detail)
+
+
+def _grade_relation(claim: PaperClaim, actual: object, rhs: object) -> GradedClaim:
+    op_fn = RELATION_OPS[claim.op]
+    # Float equality honours the tolerance band so `==` relations on measured
+    # values do not demand bit-identical arithmetic.
+    if (
+        claim.op in ("==", "!=")
+        and isinstance(actual, numbers.Real) and not isinstance(actual, bool)
+        and isinstance(rhs, numbers.Real) and not isinstance(rhs, bool)
+    ):
+        within = abs(float(actual) - float(rhs)) <= claim.tolerance.bound(float(rhs))
+        holds = within if claim.op == "==" else not within
+    else:
+        try:
+            holds = bool(op_fn(actual, rhs))
+        except TypeError:
+            return GradedClaim(
+                claim, Grade.FAIL, actual,
+                f"cannot compare {actual!r} {claim.op} {rhs!r}",
+            )
+    detail = f"{format_value(actual)} {claim.op} {format_value(rhs)}"
+    if holds:
+        return GradedClaim(claim, Grade.PASS, actual, detail + " holds")
+    violation = Grade.WARN if claim.on_violation == "warn" else Grade.FAIL
+    return GradedClaim(claim, violation, actual, detail + " is violated")
+
+
+def grade_claim(claim: PaperClaim, envelope: "Mapping[str, object]") -> GradedClaim:
+    """Grade one claim against an experiment result envelope.
+
+    Args:
+        claim: the claim to check.
+        envelope: ``{"rows": [...], "data": ...}`` view of the experiment's
+            :class:`~repro.runtime.ExperimentResult`.
+
+    Returns:
+        A :class:`GradedClaim`; metric-path resolution failures grade
+        ``fail`` with the error message as detail instead of raising.
+    """
+    try:
+        actual = resolve_path(envelope, claim.metric)
+    except MetricPathError as error:
+        return GradedClaim(claim, Grade.FAIL, None, error.reason)
+    if claim.kind == "value":
+        return _grade_value(claim, actual)
+    rhs: object = claim.expected
+    if claim.rhs_metric is not None:
+        try:
+            rhs = resolve_path(envelope, claim.rhs_metric)
+        except MetricPathError as error:
+            return GradedClaim(claim, Grade.FAIL, actual, error.reason)
+    return _grade_relation(claim, actual, rhs)

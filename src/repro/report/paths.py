@@ -1,0 +1,272 @@
+"""Metric-path mini-language addressing values inside experiment results.
+
+A *metric path* names one value (or one aggregate of values) inside the
+envelope produced by running an experiment, so a paper claim can say *where*
+its number lives without writing code.  Paths are resolved against the
+normalized view ``{"rows": result.rows, "data": result.data}``:
+
+* ``rows[topology=mesh].total_mm2`` -- the ``total_mm2`` column of the unique
+  row whose ``topology`` equals ``mesh``.
+* ``rows[cores=64,interconnect=mesh].ipc`` -- multi-key row selection; values
+  are parsed as Python literals (``64`` is an int, ``4.0`` a float, ``True`` a
+  bool), anything unparsable is matched as a string.
+* ``rows.performance_density:max`` -- the column over *all* rows, reduced by
+  an aggregate (``mean``, ``geomean``, ``min``, ``max``, ``sum``, ``count``,
+  ``mean_abs``, ``max_abs``).
+* ``data.selected_cores`` / ``data.stats.frontier_size`` -- traversal into a
+  dict payload; quoted segments (``data.knees["40nm / ooo"].candidate``)
+  reach keys containing spaces or dots, and integer segments (``data.sweep[0]``)
+  index into lists.
+
+Resolution failures -- unknown root, no matching row, an ambiguous
+multi-row selection without an aggregate, a missing column or key -- raise
+:class:`MetricPathError` with a message naming the offending path, which the
+validator turns into a ``fail`` grade rather than a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Mapping, Sequence
+
+
+class MetricPathError(KeyError):
+    """A metric path could not be resolved against an experiment result."""
+
+    def __init__(self, path: str, reason: str):
+        super().__init__(f"cannot resolve metric path {path!r}: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+def _literal(text: str) -> object:
+    """Parse ``text`` as a Python literal, falling back to the bare string."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _geomean(values: "Sequence[float]") -> float:
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean needs strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+#: Aggregate reducers usable as a ``:name`` path suffix.
+AGGREGATES = {
+    "mean": lambda vs: sum(vs) / len(vs),
+    "geomean": _geomean,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "count": len,
+    "mean_abs": lambda vs: sum(abs(v) for v in vs) / len(vs),
+    "max_abs": lambda vs: max(abs(v) for v in vs),
+}
+
+
+def _split_top_level(text: str, sep: str) -> "list[str]":
+    """Split on ``sep`` outside brackets and quotes."""
+    parts, depth, quote, current = [], 0, "", []
+    for char in text:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = ""
+            continue
+        if char in "'\"":
+            quote = char
+        elif char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == sep and depth == 0 and not quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_selector(text: str, path: str) -> "dict[str, object] | None":
+    """``k=v,k2=v2`` into a filter dict; ``*`` (or empty) selects every row."""
+    body = text.strip()
+    if body in ("", "*"):
+        return None
+    selector: "dict[str, object]" = {}
+    for pair in _split_top_level(body, ","):
+        if "=" not in pair:
+            raise MetricPathError(path, f"selector pair {pair!r} is not key=value")
+        key, _, value = pair.partition("=")
+        selector[key.strip()] = _literal(value.strip())
+    return selector
+
+
+def _tokenize(path: str) -> "list[tuple[str, object]]":
+    """Scan ``path`` into ``(kind, payload)`` tokens.
+
+    Kinds are ``name`` (a dotted segment), ``bracket`` (the raw text between
+    ``[`` and ``]``), and ``aggregate`` (the name after a trailing ``:``).
+    """
+    tokens: "list[tuple[str, object]]" = []
+    i, n = 0, len(path)
+    current: "list[str]" = []
+
+    def _flush() -> None:
+        if current:
+            tokens.append(("name", "".join(current)))
+            current.clear()
+
+    while i < n:
+        char = path[i]
+        if char == ".":
+            _flush()
+            i += 1
+        elif char == "[":
+            _flush()
+            depth, quote, j = 1, "", i + 1
+            while j < n and depth:
+                c = path[j]
+                if quote:
+                    if c == quote:
+                        quote = ""
+                elif c in "'\"":
+                    quote = c
+                elif c == "[":
+                    depth += 1
+                elif c == "]":
+                    depth -= 1
+                j += 1
+            if depth:
+                raise MetricPathError(path, "unbalanced '['")
+            tokens.append(("bracket", path[i + 1 : j - 1]))
+            i = j
+        elif char == ":":
+            _flush()
+            tokens.append(("aggregate", path[i + 1 :].strip()))
+            i = n
+        else:
+            current.append(char)
+            i += 1
+    _flush()
+    if not tokens:
+        raise MetricPathError(path, "empty path")
+    return tokens
+
+
+def _bracket_key(text: str, path: str) -> object:
+    """A ``["quoted key"]`` / ``[3]`` bracket segment as a dict key or index."""
+    body = text.strip()
+    if len(body) >= 2 and body[0] in "'\"" and body[-1] == body[0]:
+        return body[1:-1]
+    value = _literal(body)
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise MetricPathError(path, f"bracket segment {text!r} is neither quoted nor an index")
+
+
+def _select_rows(
+    rows: "Sequence[Mapping[str, object]]",
+    selector: "Mapping[str, object] | None",
+    path: str,
+) -> "list[Mapping[str, object]]":
+    if selector is None:
+        return list(rows)
+    matched = [
+        row
+        for row in rows
+        if all(row.get(key, _MISSING) == value for key, value in selector.items())
+    ]
+    if not matched:
+        raise MetricPathError(path, f"no row matches selector {selector!r}")
+    return matched
+
+
+def _column(rows: "Sequence[Mapping[str, object]]", name: str, path: str) -> "list[object]":
+    values = []
+    for row in rows:
+        if name not in row:
+            raise MetricPathError(path, f"row {sorted(row)[:6]}... has no column {name!r}")
+        values.append(row[name])
+    return values
+
+
+_MISSING = object()
+
+
+def resolve_path(envelope: "Mapping[str, object]", path: str) -> object:
+    """Resolve ``path`` against ``{"rows": [...], "data": ...}``.
+
+    Returns a scalar: row selections must be narrowed to a single value either
+    by a unique selector match or by a ``:aggregate`` suffix.
+
+    Raises:
+        MetricPathError: on any unknown root, missing row/column/key,
+            ambiguous multi-row result, or malformed path.
+    """
+    tokens = _tokenize(path)
+    aggregate: "str | None" = None
+    if tokens and tokens[-1][0] == "aggregate":
+        aggregate = str(tokens.pop()[1])
+        if aggregate not in AGGREGATES:
+            raise MetricPathError(
+                path, f"unknown aggregate {aggregate!r}; known: {sorted(AGGREGATES)}"
+            )
+    if not tokens or tokens[0][0] != "name":
+        raise MetricPathError(path, "path must start with 'rows' or 'data'")
+    root = tokens[0][1]
+    rest = tokens[1:]
+
+    if root == "rows":
+        rows = envelope.get("rows")
+        if not isinstance(rows, Sequence):
+            raise MetricPathError(path, "result has no row list")
+        selector = None
+        if rest and rest[0][0] == "bracket":
+            selector = _parse_selector(str(rest[0][1]), path)
+            rest = rest[1:]
+        selected = _select_rows(rows, selector, path)
+        if not rest:
+            value: object = list(selected)
+        else:
+            if len(rest) != 1 or rest[0][0] != "name":
+                raise MetricPathError(path, "rows paths end with one .column segment")
+            values = _column(selected, str(rest[0][1]), path)
+            value = values if len(values) > 1 else values[0]
+    elif root == "data":
+        value = envelope.get("data")
+        for kind, payload in rest:
+            key = _bracket_key(str(payload), path) if kind == "bracket" else payload
+            if isinstance(value, Mapping):
+                if key not in value:
+                    raise MetricPathError(path, f"no key {key!r} under {sorted(value)[:8]}")
+                value = value[key]
+            elif isinstance(value, Sequence) and not isinstance(value, str):
+                if not isinstance(key, int):
+                    raise MetricPathError(path, f"list segment {key!r} must be an index")
+                try:
+                    value = value[key]
+                except IndexError:
+                    raise MetricPathError(path, f"index {key} out of range") from None
+            else:
+                raise MetricPathError(path, f"cannot descend into {type(value).__name__}")
+    else:
+        raise MetricPathError(path, f"unknown root {root!r} (expected 'rows' or 'data')")
+
+    if aggregate is not None:
+        if not isinstance(value, list):
+            value = [value]
+        if not value:
+            raise MetricPathError(path, "aggregate over an empty selection")
+        try:
+            return AGGREGATES[aggregate](value)
+        except (TypeError, ValueError) as error:
+            raise MetricPathError(path, f"aggregate {aggregate!r} failed: {error}") from None
+    if isinstance(value, list):
+        raise MetricPathError(
+            path, f"selection is ambiguous ({len(value)} values); add a :aggregate"
+        )
+    return value

@@ -1,0 +1,266 @@
+"""The paper-expected-values registry: every claim the report grades.
+
+Chapters 2-6 claims pin the reproduction to statements the Scale-Out
+Processors paper makes about its figures and tables -- published speedups,
+the selected pod configuration, qualitative orderings between designs.
+Chapters 7-8 cover the repo's beyond-paper studies (service simulation,
+design-space exploration); their claims attest internal consistency with the
+paper's conclusions -- e.g. that the exploration's knee points are exactly the
+paper's chosen Scale-Out designs (the check that used to live in
+``explore_pod_40nm``'s ad-hoc ``paper_designs`` payload).
+
+:func:`register_claims` wires the registry into a
+:class:`~repro.runtime.SpecCatalog` so specs carry their claims;
+:func:`claimed_catalog` returns the shared experiment catalog with every
+registered claim attached (idempotently).
+"""
+
+from __future__ import annotations
+
+from repro.report.claims import PaperClaim, Tolerance
+
+
+def _value(claim_id, experiment_id, source, description, metric, expected,
+           rel=None, abs=None, **kwargs) -> PaperClaim:
+    """Shorthand for a numeric expected-value claim."""
+    return PaperClaim(
+        claim_id=claim_id, experiment_id=experiment_id, source=source,
+        description=description, metric=metric, kind="value", expected=expected,
+        tolerance=Tolerance(rel=rel, abs=abs), **kwargs,
+    )
+
+
+def _relation(claim_id, experiment_id, source, description, metric, op,
+              expected=None, rhs_metric=None, rel=None, **kwargs) -> PaperClaim:
+    """Shorthand for a qualitative relation claim."""
+    return PaperClaim(
+        claim_id=claim_id, experiment_id=experiment_id, source=source,
+        description=description, metric=metric, kind="relation", op=op,
+        expected=expected, rhs_metric=rhs_metric,
+        tolerance=Tolerance(rel=rel), **kwargs,
+    )
+
+
+#: Every registered claim, in report order (grouped by chapter).
+PAPER_CLAIMS: "tuple[PaperClaim, ...]" = (
+    # ----------------------------------------------------------- chapter 2
+    _value(
+        "ch2-websearch-ipc", "figure_2_1", "Figure 2.1",
+        "Web Search reaches an application IPC of ~1.56 on the aggressive OoO core",
+        "rows[workload=Web Search].application_ipc", 1.56, rel=0.05,
+    ),
+    _relation(
+        "ch2-ipc-below-peak", "figure_2_1", "Figure 2.1",
+        "No scale-out workload comes close to the 4-wide core's peak IPC",
+        "rows.application_ipc:max", "<=", expected=2.0,
+    ),
+    _relation(
+        "ch2-llc-saturates", "figure_2_2", "Figure 2.2",
+        "Growing the LLC beyond 8 MB stops helping Data Serving",
+        "rows[workload=Data Serving].16MB", "<",
+        rhs_metric="rows[workload=Data Serving].8MB",
+    ),
+    _relation(
+        "ch2-core-scaling-sublinear", "figure_2_3", "Figure 2.3",
+        "At 64 cores the mesh-based chip falls short of ideal aggregate scaling",
+        "rows[cores=64].mesh_aggregate", "<",
+        rhs_metric="rows[cores=64].ideal_aggregate",
+    ),
+    _value(
+        "ch2-ideal-inorder-pd", "table_2_3", "Table 2.3",
+        "The ideal in-order organization tops the 40 nm designs at PD ~0.193",
+        "rows[design=Ideal (In-order)].PD", 0.193, rel=0.03,
+    ),
+    # ----------------------------------------------------------- chapter 3
+    _value(
+        "ch3-model-mae", "figure_3_3", "Figure 3.3",
+        "Mean absolute model-vs-simulation error across all design points",
+        "rows[workload=MEAN].relative_error", 0.26, abs=0.05,
+    ),
+    _relation(
+        "ch3-model-worst", "figure_3_3", "Figure 3.3",
+        "Worst-case model error stays bounded over the validated design points",
+        "rows.relative_error:max_abs", "<=", expected=0.40,
+    ),
+    _relation(
+        "ch3-pod-cores", "figure_3_5", "Figure 3.5",
+        "The performance-density sweep selects a 16-core pod",
+        "data.selected_cores", "==", expected=16,
+    ),
+    _value(
+        "ch3-pod-pd", "figure_3_5", "Figure 3.5",
+        "Performance density of the selected crossbar pod",
+        "data.selected_pd", 0.1488, rel=0.02,
+    ),
+    _relation(
+        "ch3-scaleout-beats-tiled", "table_3_2", "Table 3.2",
+        "Scale-Out (In-order) outperforms the tiled in-order design on PD",
+        "rows[design=Scale-Out (In-order)].PD", ">",
+        rhs_metric="rows[design=Tiled (In-order)].PD",
+    ),
+    _value(
+        "ch3-scaleout-ooo-pd", "table_3_2", "Table 3.2",
+        "Scale-Out (OoO) lands within ~6% of the ideal OoO performance density",
+        "rows[design=Scale-Out (OoO)].PD", 0.103, rel=0.03,
+    ),
+    # ----------------------------------------------------------- chapter 4
+    _relation(
+        "ch4-fbfly-beats-mesh", "figure_4_6", "Figure 4.6",
+        "The flattened butterfly outperforms the mesh at 64 cores",
+        "rows[topology=fbfly].geomean", ">",
+        rhs_metric="rows[topology=mesh].geomean",
+    ),
+    _value(
+        "ch4-fbfly-speedup", "figure_4_6", "Figure 4.6",
+        "Geomean system speedup of the flattened butterfly over the mesh",
+        "rows[topology=fbfly].geomean", 1.246, rel=0.02,
+    ),
+    _value(
+        "ch4-nocout-speedup", "figure_4_6", "Figure 4.6",
+        "Geomean system speedup of NOC-Out over the mesh",
+        "rows[topology=nocout].geomean", 1.178, rel=0.02,
+    ),
+    _relation(
+        "ch4-nocout-cheapest", "figure_4_7", "Figure 4.7",
+        "NOC-Out needs less NoC area than even the mesh",
+        "rows[topology=nocout].total_mm2", "<",
+        rhs_metric="rows[topology=mesh].total_mm2",
+    ),
+    _relation(
+        "ch4-area-normalized-nocout", "figure_4_8", "Figure 4.8",
+        "Under an equal-area budget NOC-Out beats the flattened butterfly",
+        "rows[topology=nocout].geomean", ">",
+        rhs_metric="rows[topology=fbfly].geomean",
+    ),
+    _relation(
+        "ch4-snoops-rare", "figure_4_3", "Figure 4.3",
+        "On average snoops are triggered by under 2% of LLC accesses",
+        "rows[workload=MEAN].snoop_fraction_percent", "<=", expected=2.0,
+    ),
+    # ----------------------------------------------------------- chapter 5
+    _value(
+        "ch5-scaleout-ooo-perf", "figure_5_1", "Figure 5.1",
+        "Datacenter performance of Scale-Out (OoO) vs the conventional baseline",
+        "rows[design=Scale-Out (OoO)].normalized_performance", 5.25, rel=0.03,
+    ),
+    _relation(
+        "ch5-scaleout-tco", "figure_5_2", "Figure 5.2",
+        "Scale-Out (In-order) lowers datacenter TCO below the conventional baseline",
+        "rows[design=Scale-Out (In-order)].normalized_tco", "<", expected=1.0,
+    ),
+    _relation(
+        "ch5-inorder-best-efficiency", "figure_5_3", "Figure 5.3",
+        "At 32 GB, Scale-Out (In-order) has the best performance per TCO dollar",
+        "rows[design=Scale-Out (In-order),memory_gb=32].performance_per_tco", ">=",
+        rhs_metric="rows[memory_gb=32].performance_per_tco:max",
+    ),
+    _relation(
+        "ch5-price-robust", "figure_5_5", "Figure 5.5",
+        "Scale-Out (In-order) beats the conventional design at every processor price",
+        "rows[design=Scale-Out (In-order)].performance_per_tco:min", ">",
+        rhs_metric="rows[design=Conventional].performance_per_tco:max",
+    ),
+    # ----------------------------------------------------------- chapter 6
+    _relation(
+        "ch6-3d-gain-ooo", "table_6_2", "Table 6.2",
+        "Four-die fixed-distance stacking raises OoO performance density over 2D",
+        "rows[configuration=Fixed-Distance,core_type=ooo,dies=4].performance_density",
+        ">", rhs_metric="rows[configuration=2D Pod,core_type=ooo].performance_density",
+    ),
+    _relation(
+        "ch6-fixed-distance-wins", "figure_6_5", "Figure 6.5",
+        "At four dies the fixed-distance strategy beats fixed-pod scaling",
+        "rows[strategy=fixed-distance,dies=4].performance_density", ">",
+        rhs_metric="rows[strategy=fixed-pod,dies=4].performance_density",
+    ),
+    _value(
+        "ch6-3d-pd-inorder", "table_6_2", "Table 6.2",
+        "Performance density of the three-die fixed-distance in-order stack",
+        "rows[configuration=Fixed-Distance,core_type=inorder,dies=3].performance_density",
+        0.311, rel=0.02,
+    ),
+    # ------------------------------------------- chapter 7 (beyond paper)
+    _relation(
+        "ch7-latency-grows-with-load", "service_latency_sweep", "Study: latency sweep",
+        "Tail latency rises as the offered load saturates the cluster",
+        "rows[utilization=1.1].p99_ms", ">", rhs_metric="rows[utilization=0.2].p99_ms",
+    ),
+    _relation(
+        "ch7-erlang-agreement", "service_latency_sweep", "Study: latency sweep",
+        "At low load the measured p99 agrees with the Erlang M/M/k prediction",
+        "rows[utilization=0.2].p99_ms", "==",
+        rhs_metric="rows[utilization=0.2].mmk_p99_ms", rel=0.05,
+    ),
+    _relation(
+        "ch7-jsq-tail", "service_policy_comparison", "Study: policy comparison",
+        "Join-shortest-queue does not lose to random load balancing on p99",
+        "rows[policy=jsq].p99_ms", "<=", rhs_metric="rows[policy=random].p99_ms",
+    ),
+    _relation(
+        "ch7-scaleout-fewer-servers", "service_cluster_sizing", "Study: cluster sizing",
+        "Scale-Out (OoO) serves the QPS target with far fewer servers",
+        "rows[design=Scale-Out (OoO)].servers", "<",
+        rhs_metric="rows[design=Conventional].servers",
+    ),
+    _relation(
+        "ch7-scaleout-cheaper", "service_cluster_sizing", "Study: cluster sizing",
+        "Scale-Out (OoO) meets the SLA at a lower monthly TCO",
+        "rows[design=Scale-Out (OoO)].monthly_tco_usd", "<",
+        rhs_metric="rows[design=Conventional].monthly_tco_usd",
+    ),
+    # ------------------------------------------- chapter 8 (beyond paper)
+    _relation(
+        "ch8-paper-ooo-on-frontier", "explore_pod_40nm", "Section 2.3 / exploration",
+        "The paper's 2x16-core/4 MB OoO design is on its family's Pareto frontier",
+        "rows[core_type=ooo,cores_per_pod=16,llc_per_pod_mb=4.0,pods_per_chip=2].on_frontier",
+        "==", expected=True,
+    ),
+    _relation(
+        "ch8-paper-inorder-on-frontier", "explore_pod_40nm", "Section 2.3 / exploration",
+        "The paper's 3x32-core/2 MB in-order design is on its family's frontier",
+        "rows[core_type=inorder,cores_per_pod=32,llc_per_pod_mb=2.0,pods_per_chip=3].on_frontier",
+        "==", expected=True,
+    ),
+    _relation(
+        "ch8-knee-ooo", "explore_pod_40nm", "Section 2.3 / exploration",
+        "The OoO knee point is exactly the paper's chosen Scale-Out (OoO) chip",
+        "data.knees.ooo.candidate", "==", expected="ooo/16/4.0/crossbar/2/40nm",
+    ),
+    _relation(
+        "ch8-knee-inorder", "explore_pod_40nm", "Section 2.3 / exploration",
+        "The in-order knee point is exactly the paper's chosen Scale-Out (In-order) chip",
+        "data.knees.inorder.candidate", "==", expected="inorder/32/2.0/crossbar/3/40nm",
+    ),
+    _relation(
+        "ch8-scaling-raises-pd", "explore_scaling_20nm", "Section 2.4.1 / exploration",
+        "Moving from 40 nm to 20 nm raises the OoO knee's performance density",
+        'data.knees["20nm / ooo"].performance_density', ">",
+        rhs_metric='data.knees["40nm / ooo"].performance_density',
+    ),
+    _relation(
+        "ch8-sla-frontier-feasible", "explore_sla_sizing", "Study: SLA sizing",
+        "Every frontier deployment meets the p99 service-level objective",
+        "rows[on_frontier=True].p99_ms:max", "<=", rhs_metric="data.sla_p99_ms",
+    ),
+)
+
+
+def register_claims(catalog) -> None:
+    """Attach :data:`PAPER_CLAIMS` to ``catalog`` (idempotent).
+
+    Args:
+        catalog: a :class:`~repro.runtime.SpecCatalog`; claims already
+            attached (by id) are skipped so repeated registration is safe.
+    """
+    known = {claim.claim_id for claim in catalog.claims()}
+    fresh = [claim for claim in PAPER_CLAIMS if claim.claim_id not in known]
+    if fresh:
+        catalog.attach_claims(fresh)
+
+
+def claimed_catalog():
+    """The shared experiment catalog with every registered claim attached."""
+    from repro.experiments.registry import CATALOG
+
+    register_claims(CATALOG)
+    return CATALOG

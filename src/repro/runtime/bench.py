@@ -137,9 +137,17 @@ def _accepted_overrides(
 
 
 def _timed_variant(experiment_id: str, kwargs: "dict[str, object]") -> "dict[str, object]":
-    """Run one uncached variant and report its wall time."""
-    from repro.experiments.registry import run_experiment
+    """Run one uncached variant and report its wall time.
 
+    Cache-aware experiments (the explore studies) also get their internal
+    per-candidate evaluation cache disabled, so the reported wall time is a
+    genuine cold-run figure even when caches are warm in this process.
+    """
+    from repro.experiments.registry import CATALOG, run_experiment
+    from repro.runtime.cache import evaluation_overrides
+
+    function = CATALOG.get(experiment_id).function
+    kwargs = {**evaluation_overrides(function, use_cache=False, cache=None), **kwargs}
     result = run_experiment(experiment_id, use_cache=False, **kwargs)
     return {
         "wall_s": round(result.wall_time_s, 6),

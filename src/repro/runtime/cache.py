@@ -78,6 +78,35 @@ def result_key(cache_token: str, kwargs: "Mapping[str, object]") -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def evaluation_overrides(
+    function, use_cache: bool, cache: "ResultCache | None"
+) -> "dict[str, object]":
+    """Cache-flag overrides for experiments with an internal evaluation cache.
+
+    Cache-aware experiment functions (the explore studies) memoize their
+    per-candidate model evaluations in their own cache tier and accept
+    ``use_evaluation_cache`` / ``evaluation_cache`` parameters to control it.
+    This helper centralizes the forwarding rule shared by the CLI, the bench
+    harness, and the report validator:
+
+    * ``use_cache=False`` disables the internal tier too (a no-cache run
+      really recomputes every evaluation);
+    * a disk-backed ``cache`` is forwarded as the internal tier, so
+      evaluations dedupe across processes and studies.
+
+    Functions without these parameters get an empty dict.
+    """
+    import inspect
+
+    accepted = inspect.signature(function).parameters
+    overrides: "dict[str, object]" = {}
+    if not use_cache and "use_evaluation_cache" in accepted:
+        overrides["use_evaluation_cache"] = False
+    if use_cache and cache is not None and cache.cache_dir and "evaluation_cache" in accepted:
+        overrides["evaluation_cache"] = cache
+    return overrides
+
+
 class ResultCache:
     """Two-tier (memory, optional disk) store of experiment payloads by key."""
 

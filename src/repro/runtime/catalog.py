@@ -1,4 +1,12 @@
-"""Spec catalog: lookup of experiments by id, chapter, and kind."""
+"""Spec catalog: lookup of experiments by id, chapter, kind, and claims.
+
+Besides the spec lookup, a catalog carries *paper claims* -- expected-value
+records (see :mod:`repro.report.claims`) attached to the experiment that
+reproduces them -- so any figure/table/study/explore spec can declare what the
+source paper says about its output and the report subsystem can grade it.
+Claims are duck-typed here (anything with ``claim_id`` and ``experiment_id``
+attributes) to keep the runtime layer free of report-layer imports.
+"""
 
 from __future__ import annotations
 
@@ -22,6 +30,7 @@ class SpecCatalog:
 
     def __init__(self, specs: "Iterable[ExperimentSpec]" = ()):
         self._specs: "dict[str, ExperimentSpec]" = {}
+        self._claims: "dict[str, list]" = {}
         for spec in specs:
             self.register(spec)
 
@@ -61,6 +70,48 @@ class SpecCatalog:
     def by_kind(self, kind: str) -> "list[ExperimentSpec]":
         """All specs of the given kind (figure/table/study/explore)."""
         return self.select(kind=kind)
+
+    # ------------------------------------------------------------- claims
+    def attach_claims(self, claims: "Iterable[object]") -> None:
+        """Attach paper claims to the specs that reproduce them.
+
+        Args:
+            claims: objects with ``claim_id`` and ``experiment_id``
+                attributes (see :class:`repro.report.claims.PaperClaim`).
+
+        Raises:
+            UnknownExperimentError: if a claim names an uncatalogued spec.
+            ValueError: on a duplicate claim id.
+        """
+        # Validate the whole batch before mutating, so a bad claim can be
+        # fixed and the batch re-attached without wedging the catalog.
+        known = {claim.claim_id for claim in self.claims()}
+        staged = []
+        for claim in claims:
+            self.get(claim.experiment_id)  # raises UnknownExperimentError
+            if claim.claim_id in known:
+                raise ValueError(f"duplicate claim id {claim.claim_id!r}")
+            known.add(claim.claim_id)
+            staged.append(claim)
+        for claim in staged:
+            self._claims.setdefault(claim.experiment_id, []).append(claim)
+
+    def claims_for(self, experiment_id: str) -> "list[object]":
+        """The claims attached to one spec (empty if none)."""
+        self.get(experiment_id)
+        return list(self._claims.get(experiment_id, ()))
+
+    def claims(self) -> "list[object]":
+        """Every attached claim, grouped by spec in registration order."""
+        return [
+            claim
+            for spec_id in self._specs
+            for claim in self._claims.get(spec_id, ())
+        ]
+
+    def claimed_ids(self) -> "list[str]":
+        """Ids of the specs that carry at least one claim, in catalog order."""
+        return [spec_id for spec_id in self._specs if self._claims.get(spec_id)]
 
     def chapters(self) -> "list[int]":
         """Sorted chapter numbers present in the catalog."""

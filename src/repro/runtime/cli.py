@@ -7,6 +7,8 @@ Subcommands:
 * ``sweep`` -- cross-product parameter sweep over one experiment.
 * ``explore`` -- run a design-space exploration and print its Pareto frontier.
 * ``bench`` -- time every (or selected) experiment with caching off.
+* ``report`` -- grade every registered paper claim and render the
+  reproduction report (exit code 1 if any claim grades ``fail``).
 
 ``run`` and ``sweep`` accept repeated ``--set key=value`` overrides (values are
 parsed as Python literals when possible); ``sweep`` splits comma-separated
@@ -25,7 +27,7 @@ import json
 import sys
 from typing import Sequence
 
-from repro.runtime.cache import ResultCache
+from repro.runtime.cache import ResultCache, evaluation_overrides
 from repro.runtime.catalog import UnknownExperimentError
 from repro.runtime.executor import SweepExecutor
 
@@ -96,18 +98,17 @@ def _run_one(experiment_id: str, args: argparse.Namespace, **extra: object):
 
     overrides = dict(_parse_overrides(getattr(args, "set", []) or []))
     overrides.update(extra)
-    parameters = inspect.signature(CATALOG.get(experiment_id).function).parameters
+    function = CATALOG.get(experiment_id).function
     executor = _executor_for(args)
-    if executor is not None and "executor" in parameters:
+    if executor is not None and "executor" in inspect.signature(function).parameters:
         overrides["executor"] = executor
     # Cache-aware experiments (the explore studies) memoize their internal
     # model evaluations too; forward the cache flags so --no-cache really
     # recomputes and --cache-dir persists evaluations across processes.
     cache = _cache_for(args)
-    if getattr(args, "no_cache", False) and "use_evaluation_cache" in parameters:
-        overrides.setdefault("use_evaluation_cache", False)
-    if cache is not None and "evaluation_cache" in parameters:
-        overrides.setdefault("evaluation_cache", cache)
+    use_cache = not getattr(args, "no_cache", False)
+    for name, value in evaluation_overrides(function, use_cache, cache).items():
+        overrides.setdefault(name, value)
     return run_experiment(
         experiment_id,
         use_cache=not getattr(args, "no_cache", False),
@@ -245,6 +246,57 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Grade the paper-claims registry and render the reproduction report.
+
+    Returns exit code 1 when any claim grades ``fail`` so CI can gate on the
+    report; ``warn`` grades do not fail the build.
+    """
+    import os
+
+    from repro.report.render import render_markdown, render_svg
+    from repro.report.validate import ReportValidator
+
+    validator = ReportValidator(
+        cache=_cache_for(args),
+        use_cache=not args.no_cache,
+        executor=_executor_for(args),
+    )
+    try:
+        run = validator.validate(only=args.only or None)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not run.graded:
+        print("no claims selected", file=sys.stderr)
+        return 1
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown(run))
+        summary = run.summary()
+        # In --json mode the note goes to stderr so stdout stays pure JSON.
+        print(
+            f"# wrote {args.out}: {summary['claims']} claims, "
+            f"{summary['pass']} pass / {summary['warn']} warn / "
+            f"{summary['fail']} fail",
+            file=sys.stderr if args.json else sys.stdout,
+        )
+    if args.json:
+        print(json.dumps(run.payload()))
+    elif not args.out:
+        print(render_markdown(run), end="")
+    if args.svg_dir:
+        os.makedirs(args.svg_dir, exist_ok=True)
+        for chapter, items in run.by_chapter().items():
+            path = os.path.join(args.svg_dir, f"report_chapter{chapter}.svg")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render_svg(chapter, items))
+    return 0 if run.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.formatting import format_table
     from repro.experiments.registry import CATALOG
@@ -316,10 +368,8 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, help="filter by kind")
     p_list.set_defaults(func=_cmd_list)
 
-    def add_run_flags(p: argparse.ArgumentParser) -> None:
-        """Attach the flags shared by run/sweep/explore/bench to ``p``."""
-        p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
-                       help="parameter override (repeatable)")
+    def add_execution_flags(p: argparse.ArgumentParser) -> None:
+        """Attach the cache/executor/json flags shared by every running subcommand."""
         p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persist cached results under DIR (also honours REPRO_CACHE_DIR)")
@@ -330,6 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="force the serial sweep executor")
         p.add_argument("--workers", type=int, default=None, help="process-pool size")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    def add_run_flags(p: argparse.ArgumentParser) -> None:
+        """Attach the flags shared by run/sweep/explore/bench to ``p``."""
+        p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                       help="parameter override (repeatable)")
+        add_execution_flags(p)
 
     p_run = sub.add_parser("run", help="run experiments and print their tables")
     p_run.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see `list`)")
@@ -348,6 +404,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="exploration id (see `list --kind explore`)")
     add_run_flags(p_explore)
     p_explore.set_defaults(func=_cmd_explore)
+
+    p_report = sub.add_parser(
+        "report", help="grade paper claims and render the reproduction report"
+    )
+    p_report.add_argument("--only", action="append", default=[], metavar="WHAT",
+                          help="restrict to a chapter (chapter4), an experiment "
+                               "id, or a claim id (repeatable)")
+    p_report.add_argument("--out", default=None, metavar="PATH",
+                          help="write the Markdown report to PATH instead of stdout")
+    p_report.add_argument("--svg-dir", default=None, metavar="DIR",
+                          help="also write per-chapter SVG figure sketches under DIR")
+    add_execution_flags(p_report)
+    p_report.set_defaults(func=_cmd_report)
 
     p_bench = sub.add_parser("bench", help="time experiments with caching off")
     p_bench.add_argument("ids", nargs="*", metavar="ID",

@@ -237,3 +237,63 @@ class TestExplore:
     def test_explore_rejects_non_explore_specs(self, capsys):
         with pytest.raises(SystemExit, match="not an exploration"):
             run_cli(capsys, "explore", "figure_4_6")
+
+
+class TestReport:
+    def test_report_markdown_to_stdout(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "report", "--only", "chapter4",
+                               "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert out.startswith("# Reproduction report")
+        assert "ch4-fbfly-beats-mesh" in out
+
+    def test_report_out_writes_file_and_prints_summary(self, capsys, tmp_path):
+        target = tmp_path / "REPORT.md"
+        code, out, _ = run_cli(capsys, "report", "--only", "figure_4_7",
+                               "--out", str(target), "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "# wrote" in out and "0 fail" in out
+        assert target.read_text(encoding="utf-8").startswith("# Reproduction report")
+
+    def test_report_json_envelope(self, capsys, tmp_path):
+        code, out, _ = run_cli(capsys, "report", "--only", "chapter4", "--json",
+                               "--cache-dir", str(tmp_path), "--serial")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["fail"] == 0
+        assert payload["summary"]["claims"] == len(payload["claims"]) >= 5
+        assert all(claim["chapter"] == 4 for claim in payload["claims"])
+
+    def test_report_json_with_out_writes_file_and_keeps_stdout_pure(self, capsys, tmp_path):
+        target = tmp_path / "REPORT.md"
+        code, out, err = run_cli(capsys, "report", "--only", "figure_4_7",
+                                 "--json", "--out", str(target),
+                                 "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert json.loads(out)["summary"]["fail"] == 0   # stdout is pure JSON
+        assert "# wrote" in err
+        assert target.read_text(encoding="utf-8").startswith("# Reproduction report")
+
+    def test_report_svg_dir(self, capsys, tmp_path):
+        code, _, _ = run_cli(capsys, "report", "--only", "figure_4_7",
+                             "--svg-dir", str(tmp_path / "figs"),
+                             "--cache-dir", str(tmp_path))
+        assert code == 0
+        svg = (tmp_path / "figs" / "report_chapter4.svg").read_text(encoding="utf-8")
+        assert svg.startswith("<svg") and "ch4-nocout-cheapest" in svg
+
+    def test_report_rejects_unknown_only_token(self, capsys):
+        code, _, err = run_cli(capsys, "report", "--only", "chapter99-zzz")
+        assert code == 2
+        assert "matches no chapter" in err
+
+    def test_report_no_cache_reaches_the_evaluation_cache(self, capsys):
+        # --no-cache must also disable the explore studies' internal
+        # per-candidate evaluation cache: both runs re-evaluate everything.
+        for _ in range(2):
+            code, out, _ = run_cli(capsys, "report", "--only", "explore_sla_sizing",
+                                   "--no-cache", "--json")
+            assert code == 0
+            payload = json.loads(out)
+            assert payload["summary"]["fail"] == 0
+            assert {e["cache_status"] for e in payload["experiments"]} == {"disabled"}

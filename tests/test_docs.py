@@ -42,7 +42,7 @@ def test_doc_files_exist():
     assert (REPO / "README.md").exists(), "the repo must have a top-level README"
     names = {p.name for p in DOC_FILES}
     assert {"architecture.md", "dse.md", "running.md", "performance.md",
-            "service.md"} <= names
+            "service.md", "report.md", "REPORT.md"} <= names
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
@@ -72,17 +72,45 @@ def test_running_doc_lists_every_cli_command():
     from repro.runtime.cli import build_parser
 
     text = (REPO / "docs" / "running.md").read_text(encoding="utf-8")
-    subcommands = {"list", "run", "sweep", "explore", "bench"}
+    subcommands = {"list", "run", "sweep", "explore", "bench", "report"}
     # Keep this set in sync with the parser itself.
     parser_commands = set()
     for action in build_parser()._subparsers._group_actions:  # noqa: SLF001
         parser_commands.update(action.choices)
     assert subcommands == parser_commands
     for command in sorted(subcommands):
-        assert re.search(rf"`(python -m repro )?{command}`|^## .*{command}", text,
-                         re.MULTILINE | re.IGNORECASE) or command in text, (
-            f"docs/running.md does not mention the `{command}` command"
-        )
+        # Require a real mention: a code-formatted invocation or a fenced
+        # `python -m repro <command>` line, not an incidental prose substring.
+        assert re.search(
+            rf"`(python -m repro )?{command}`|python -m repro {command}\b",
+            text, re.MULTILINE,
+        ), f"docs/running.md does not mention the `{command}` command"
+
+
+def test_report_md_matches_regeneration():
+    """The committed reproduction report regenerates byte-for-byte.
+
+    Renders the report twice against one shared cache: the first pass runs
+    every claimed experiment (cold), the second is served entirely from the
+    warm cache.  Both renderings must be identical to each other and to the
+    committed ``docs/REPORT.md``, and no claim may grade ``fail``.
+    """
+    from repro.report import Grade, ReportValidator, render_markdown
+    from repro.runtime.cache import ResultCache
+
+    validator = ReportValidator(cache=ResultCache())
+    cold_run = validator.validate()
+    warm_run = validator.validate()
+    assert {check.cache_status for check in warm_run.experiments} == {"hit"}
+    cold, warm = render_markdown(cold_run), render_markdown(warm_run)
+    assert cold == warm, "report rendering is not cache-stable"
+    committed = (REPO / "docs" / "REPORT.md").read_text(encoding="utf-8")
+    assert committed == cold, (
+        "docs/REPORT.md drifted from regeneration; run "
+        "`python -m repro report --out docs/REPORT.md` and commit the result"
+    )
+    assert cold_run.count(Grade.FAIL) == 0
+    assert len(cold_run.graded) >= 20
 
 
 def test_readme_mentions_catalog_and_tier1_command():

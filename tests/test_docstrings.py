@@ -16,6 +16,7 @@ from check_docstrings import audit_file, iter_python_files, main  # noqa: E402
 ENFORCED = [
     REPO / "src" / "repro" / "runtime",
     REPO / "src" / "repro" / "dse",
+    REPO / "src" / "repro" / "report",
     REPO / "src" / "repro" / "service" / "cluster.py",
     REPO / "src" / "repro" / "noc" / "fastpath.py",
 ]

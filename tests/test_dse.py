@@ -247,9 +247,6 @@ class TestExplorer:
 class TestStudies:
     def test_pod_40nm_frontier_contains_paper_designs(self):
         payload = explore_pod_40nm(use_evaluation_cache=False)
-        chosen = payload["paper_designs"]
-        assert {d["design"] for d in chosen} == {"Scale-Out (OoO)", "Scale-Out (In-order)"}
-        assert all(d["in_space"] and d["on_frontier"] for d in chosen)
         frontier_keys = {
             (r["core_type"], r["cores_per_pod"], r["llc_per_pod_mb"], r["pods_per_chip"])
             for r in payload["frontier"]
@@ -259,6 +256,24 @@ class TestStudies:
         # Every candidate is reported, not just the frontier.
         assert len(payload["candidates"]) == payload["stats"]["candidates"]
         assert payload["stats"]["feasible"] < payload["stats"]["candidates"]
+
+    def test_paper_design_self_check_lives_in_claims_registry(self):
+        # The old ad-hoc `paper_designs` payload is gone: the chosen-design
+        # self-check is now graded through the paper-claims registry.
+        from repro.report import Grade, ReportValidator
+        from repro.runtime.cache import ResultCache
+
+        payload = explore_pod_40nm(use_evaluation_cache=False)
+        assert "paper_designs" not in payload
+        run = ReportValidator(cache=ResultCache()).validate(only=["explore_pod_40nm"])
+        graded = {g.claim.claim_id: g.grade for g in run.graded}
+        for claim_id in (
+            "ch8-paper-ooo-on-frontier",
+            "ch8-paper-inorder-on-frontier",
+            "ch8-knee-ooo",
+            "ch8-knee-inorder",
+        ):
+            assert graded[claim_id] is Grade.PASS
 
     def test_sla_sizing_filters_infeasible_and_trades_tco_for_latency(self):
         payload = explore_sla_sizing(
