@@ -28,6 +28,9 @@ from repro.runtime.executor import SweepExecutor
 #: Process-wide evaluation cache; add a disk tier by setting ``REPRO_CACHE_DIR``.
 DEFAULT_EVALUATION_CACHE = ResultCache.from_env()
 
+#: Evaluation budget the search strategies use when none is given.
+DEFAULT_SEARCH_BUDGET = 64
+
 
 @dataclass
 class ExplorationResult:
@@ -134,18 +137,60 @@ class Explorer:
 
     # ------------------------------------------------------------ exploration
     def explore(
-        self, sample: "int | None" = None, seed: int = 0
+        self,
+        sample: "int | None" = None,
+        seed: int = 0,
+        strategy: str = "exhaustive",
+        budget: "int | None" = None,
     ) -> ExplorationResult:
-        """Run the exploration (optionally over a seeded sample of the space).
+        """Run the exploration (exhaustively, or via a search strategy).
+
+        Args:
+            sample: with ``strategy="exhaustive"``, evaluate only a seeded
+                sample of this many candidates instead of the whole space.
+            seed: seed of the sample draw and of the search drivers.
+            strategy: ``"exhaustive"`` (default) enumerates and evaluates the
+                space; ``"ga"`` runs the genetic search; ``"halving"`` runs
+                proxy-screened successive halving.  The search strategies
+                evaluate at most ``budget`` candidates and return the frontier
+                of everything they evaluated.
+            budget: unique-candidate evaluation budget for the search
+                strategies (default :data:`DEFAULT_SEARCH_BUDGET`); counted
+                independently of cache warmth, so a warm-cache re-run walks
+                the same candidates with zero model evaluations.
 
         Raises:
             EmptyDesignSpaceError: when the parameter constraints prune every
                 candidate, or the metric constraints leave nothing feasible.
+            ValueError: for an unknown strategy, or ``budget`` passed to the
+                exhaustive strategy (use ``sample`` there).
         """
-        candidates = (
-            self.space.sample(sample, seed) if sample is not None else self.space.enumerate()
-        )
-        metrics, cache_hits = self._evaluate(candidates)
+        from repro.dse.search import STRATEGIES, GeneticSearch, SuccessiveHalving
+
+        if strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        extra_stats: "dict[str, object]" = {"strategy": strategy}
+        if strategy == "exhaustive":
+            if budget is not None:
+                raise ValueError(
+                    "budget only applies to the search strategies; use "
+                    "sample= to bound an exhaustive exploration"
+                )
+            candidates = (
+                self.space.sample(sample, seed)
+                if sample is not None
+                else self.space.enumerate()
+            )
+            metrics, cache_hits = self._evaluate(candidates)
+        else:
+            driver_class = GeneticSearch if strategy == "ga" else SuccessiveHalving
+            driver = driver_class(
+                self, budget=budget or DEFAULT_SEARCH_BUDGET, seed=seed
+            )
+            outcome = driver.run()
+            candidates, metrics = outcome.candidates, outcome.metrics
+            cache_hits = outcome.cache_hits
+            extra_stats.update(outcome.stats)
 
         rows: "list[dict[str, object]]" = []
         for candidate, metric in zip(candidates, metrics):
@@ -189,6 +234,7 @@ class Explorer:
             "cache_hits": cache_hits,
             "feasible": len(feasible_rows),
             "frontier_size": len(frontier),
+            **extra_stats,
         }
         return ExplorationResult(
             rows=rows,

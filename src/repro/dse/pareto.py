@@ -17,6 +17,15 @@ non-dominated ones.  This module provides:
 All functions operate on plain row dictionaries (``{metric: value, ...}``) and
 preserve input order, so serial and parallel exploration produce identical
 frontiers.
+
+Frontier extraction has two interchangeable engines: the historical pure-Python
+O(n^2) dominance loop (:func:`pareto_frontier_reference`, kept as the
+equality-checked reference) and a vectorized numpy kernel
+(:func:`pareto_numpy` over :func:`pareto_mask_numpy`) that reduces the
+objective matrix with broadcast comparisons and handles million-point fronts.
+:func:`pareto_frontier` dispatches between them (``method="auto"`` uses the
+kernel wherever the objective values are finite floats) and both engines are
+held to identical outputs by ``tests/test_dse_search.py``.
 """
 
 from __future__ import annotations
@@ -25,7 +34,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 _SENSES = ("max", "min")
+
+_METHODS = ("auto", "numpy", "reference")
 
 
 @dataclass(frozen=True)
@@ -105,23 +118,17 @@ def group_label(row: "Mapping[str, object]", group_by: "str | Sequence[str] | No
     return str(key)
 
 
-def pareto_frontier(
+def pareto_frontier_reference(
     rows: "Sequence[Mapping[str, object]]",
     objectives: "Sequence[Objective]",
     group_by: "str | Sequence[str] | None" = None,
 ) -> "list[Mapping[str, object]]":
-    """The non-dominated subset of ``rows``, in input order.
+    """The non-dominated subset via the pure-Python O(n^2) dominance loop.
 
-    Args:
-        rows: candidate rows carrying every objective's metric.
-        objectives: the objectives defining dominance.
-        group_by: optional row key (or keys) partitioning the rows; dominance
-            is then evaluated within each partition and the union of the
-            per-group frontiers is returned.  The paper compares OoO and
-            in-order designs separately, so the pod studies group by core type.
-
-    A single-row input is its own frontier; exact duplicates on all objectives
-    all survive (no arbitrary tie-breaking).
+    This is the historical implementation, retained verbatim as the
+    equality-checked reference for the vectorized kernel: every semantic the
+    fast path must preserve (tie survival, input-order output, per-group
+    dominance, single-member groups never converting values) is defined here.
     """
     if not rows:
         return []
@@ -140,6 +147,174 @@ def pareto_frontier(
     return [row for row in rows if id(row) in frontier_ids]
 
 
+def _reference_group_mask(
+    members: "Sequence[Mapping[str, object]]",
+    objectives: "Sequence[Objective]",
+) -> "list[bool]":
+    """Per-member frontier mask of one group via the reference dominance loop."""
+    return [
+        not any(
+            dominates(other, row, objectives)
+            for other in members
+            if other is not row
+        )
+        for row in members
+    ]
+
+
+def pareto_mask_numpy(matrix: "np.ndarray") -> "np.ndarray":
+    """Boolean non-dominated mask over an oriented (n x k) objective matrix.
+
+    The matrix must already be oriented larger-is-better on every column (the
+    caller negates ``min`` objectives) and contain only finite float values.
+    The kernel first collapses exact duplicate rows with ``np.unique`` so that
+    ties share one verdict (ties never dominate each other and survive
+    together), then runs a broadcast skyline sweep: unique rows are visited in
+    descending lexicographic order and each surviving pivot eliminates, in one
+    vectorized comparison, every row it weakly dominates.  The cost is
+    O(u * f * k) for u unique rows and f frontier points -- in practice tens of
+    broadcast passes instead of n^2 Python-level comparisons.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D objective matrix, got shape {matrix.shape}")
+    if matrix.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    if matrix.shape[1] == 0:
+        raise ValueError("dominance needs at least one objective")
+    if not np.isfinite(matrix).all():
+        raise ValueError(
+            "pareto_mask_numpy requires finite objective values; "
+            "use the reference path for rows with NaN or infinity"
+        )
+    unique, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    # Descending lexicographic order: strong candidates come first, so early
+    # pivots eliminate large swaths of the pool in few broadcast passes.
+    costs = unique[::-1]
+    survivors = np.arange(costs.shape[0])
+    pivot = 0
+    while pivot < costs.shape[0]:
+        keep = (costs > costs[pivot]).any(axis=1)
+        keep[pivot] = True  # a pivot never eliminates itself
+        survivors = survivors[keep]
+        costs = costs[keep]
+        pivot = int(keep[:pivot].sum()) + 1
+    unique_mask = np.zeros(unique.shape[0], dtype=bool)
+    unique_mask[unique.shape[0] - 1 - survivors] = True
+    return unique_mask[inverse]
+
+
+def _oriented_matrix(
+    rows: "Sequence[Mapping[str, object]]",
+    positions: "Sequence[int]",
+    objectives: "Sequence[Objective]",
+) -> "np.ndarray":
+    """Oriented (larger-is-better) objective matrix for the selected rows."""
+    columns = []
+    for objective in objectives:
+        column = np.fromiter(
+            (float(rows[pos][objective.metric]) for pos in positions),  # type: ignore[arg-type]
+            dtype=np.float64,
+            count=len(positions),
+        )
+        if objective.sense == "min":
+            column = -column
+        columns.append(column)
+    return np.column_stack(columns)
+
+
+def _frontier_mask(
+    rows: "Sequence[Mapping[str, object]]",
+    objectives: "Sequence[Objective]",
+    group_by: "str | Sequence[str] | None",
+    method: str,
+) -> "list[bool]":
+    """Per-row frontier membership, dispatching kernel vs reference per group."""
+    groups: "dict[object, list[int]]" = {}
+    for position, row in enumerate(rows):
+        groups.setdefault(_group_key(row, group_by), []).append(position)
+    mask = [False] * len(rows)
+    for positions in groups.values():
+        if len(positions) == 1:
+            # The reference loop never evaluates dominance (or converts
+            # metric values) for a lone group member; preserve that exactly.
+            mask[positions[0]] = True
+            continue
+        if not objectives:
+            raise ValueError("dominance needs at least one objective")
+        if method == "reference":
+            group_mask = _reference_group_mask([rows[p] for p in positions], objectives)
+        else:
+            matrix = _oriented_matrix(rows, positions, objectives)
+            if np.isfinite(matrix).all():
+                group_mask = pareto_mask_numpy(matrix)
+            elif method == "numpy":
+                raise ValueError(
+                    "non-finite objective values cannot use method='numpy'; "
+                    "use method='auto' or 'reference'"
+                )
+            else:  # auto: NaN/inf semantics are defined by the reference loop
+                group_mask = _reference_group_mask(
+                    [rows[p] for p in positions], objectives
+                )
+        for position, on_front in zip(positions, group_mask):
+            mask[position] = bool(on_front)
+    return mask
+
+
+def pareto_numpy(
+    rows: "Sequence[Mapping[str, object]]",
+    objectives: "Sequence[Objective]",
+    group_by: "str | Sequence[str] | None" = None,
+) -> "list[Mapping[str, object]]":
+    """The non-dominated subset via the vectorized numpy kernel.
+
+    Semantically identical to :func:`pareto_frontier_reference` for finite
+    objective values (the equivalence is property-tested); raises
+    ``ValueError`` when a row carries NaN or infinity, where only the
+    reference loop's comparison semantics are defined.
+    """
+    if not objectives:
+        raise ValueError("dominance needs at least one objective")
+    if not rows:
+        return []
+    mask = _frontier_mask(rows, objectives, group_by, method="numpy")
+    return [row for row, on_front in zip(rows, mask) if on_front]
+
+
+def pareto_frontier(
+    rows: "Sequence[Mapping[str, object]]",
+    objectives: "Sequence[Objective]",
+    group_by: "str | Sequence[str] | None" = None,
+    method: str = "auto",
+) -> "list[Mapping[str, object]]":
+    """The non-dominated subset of ``rows``, in input order.
+
+    Args:
+        rows: candidate rows carrying every objective's metric.
+        objectives: the objectives defining dominance.
+        group_by: optional row key (or keys) partitioning the rows; dominance
+            is then evaluated within each partition and the union of the
+            per-group frontiers is returned.  The paper compares OoO and
+            in-order designs separately, so the pod studies group by core type.
+        method: ``"auto"`` (default) runs the vectorized numpy kernel and
+            falls back to the pure-Python loop for any group containing
+            non-finite values; ``"numpy"`` forces the kernel (raising on
+            non-finite values); ``"reference"`` forces the O(n^2) loop.
+
+    A single-row input is its own frontier; exact duplicates on all objectives
+    all survive (no arbitrary tie-breaking).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if not objectives:
+        raise ValueError("dominance needs at least one objective")
+    if not rows:
+        return []
+    mask = _frontier_mask(rows, objectives, group_by, method)
+    return [row for row, on_front in zip(rows, mask) if on_front]
+
+
 def frontier_2d(
     rows: "Sequence[Mapping[str, object]]",
     x: Objective,
@@ -149,10 +324,31 @@ def frontier_2d(
 
     This is the plottable trade-off curve between exactly two objectives
     (e.g. monthly TCO versus p99 latency), extracted regardless of how many
-    objectives the full exploration used.
+    objectives the full exploration used.  Rows missing either metric, or
+    carrying a value that cannot be cast to ``float``, raise a ``KeyError`` /
+    ``TypeError`` naming the metric and the offending row's index (instead of
+    the bare cast failure the sort key used to surface).
     """
+    keys: "dict[int, float]" = {}
+    for index, row in enumerate(rows):
+        for objective in (x, y):
+            if objective.metric not in row:
+                raise KeyError(
+                    f"frontier_2d: row {index} has no {objective.metric!r} "
+                    f"metric (available: {sorted(row)})"
+                )
+            value = row[objective.metric]
+            try:
+                as_float = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError) as exc:
+                raise TypeError(
+                    f"frontier_2d: row {index} metric {objective.metric!r} "
+                    f"value {value!r} is not castable to float"
+                ) from exc
+            if objective is x:
+                keys[id(row)] = as_float
     frontier = pareto_frontier(rows, (x, y))
-    return sorted(frontier, key=lambda row: float(row[x.metric]))  # type: ignore[arg-type]
+    return sorted(frontier, key=lambda row: keys[id(row)])
 
 
 def knee_point(

@@ -1,0 +1,36 @@
+"""Search-based design-space exploration drivers.
+
+Exhaustive enumeration stops scaling somewhere around 10^4 candidates; this
+package provides the two search strategies the
+:class:`~repro.dse.explorer.Explorer` dispatches to beyond that point:
+
+* :class:`~repro.dse.search.ga.GeneticSearch` (``strategy="ga"``) -- a seeded
+  genetic algorithm whose evaluations deduplicate through the
+  content-addressed result cache;
+* :class:`~repro.dse.search.halving.SuccessiveHalving`
+  (``strategy="halving"``) -- proxy-screened successive halving that spends
+  model evaluations only on the pool's analytically-best survivors.
+
+Both return a :class:`~repro.dse.search.base.SearchOutcome` and are
+deterministic in their seed, serial or parallel.
+"""
+
+from repro.dse.search.base import SearchOutcome, is_rankable, rank_rows
+from repro.dse.search.ga import GaConfig, GeneticSearch
+from repro.dse.search.halving import SuccessiveHalving
+from repro.dse.search.proxy import PROXIES, run_proxy
+
+#: Strategy names accepted by ``Explorer.explore`` and the CLI.
+STRATEGIES = ("exhaustive", "ga", "halving")
+
+__all__ = [
+    "GaConfig",
+    "GeneticSearch",
+    "PROXIES",
+    "STRATEGIES",
+    "SearchOutcome",
+    "SuccessiveHalving",
+    "is_rankable",
+    "rank_rows",
+    "run_proxy",
+]

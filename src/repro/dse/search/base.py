@@ -1,0 +1,110 @@
+"""Shared machinery for the search drivers: outcomes and candidate ranking.
+
+Both search drivers need the same two ingredients on top of the design space:
+a container for what a search evaluated (:class:`SearchOutcome`, which the
+:class:`~repro.dse.explorer.Explorer` turns into a regular exploration result)
+and a deterministic total order over partially-evaluated candidate pools
+(:func:`rank_rows`), built from Pareto rank peeling within frontier groups
+plus knee-style utopia distance as the tiebreak.  Ranking is pure and
+index-stable, so serial and parallel searches order candidates identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.dse.pareto import Objective, _group_key, pareto_frontier
+from repro.dse.space import Constraint
+
+
+@dataclass
+class SearchOutcome:
+    """Everything one search driver evaluated, in first-evaluation order.
+
+    Attributes:
+        candidates: evaluated candidate dictionaries (axis values only).
+        metrics: evaluator metric dictionaries aligned with ``candidates``.
+        cache_hits: how many evaluations the result cache served.
+        stats: driver-specific accounting merged into the exploration stats.
+    """
+
+    candidates: "list[dict[str, object]]"
+    metrics: "list[dict[str, object]]"
+    cache_hits: int = 0
+    stats: "dict[str, object]" = field(default_factory=dict)
+
+
+def is_rankable(
+    row: "Mapping[str, object]",
+    objectives: "Sequence[Objective]",
+    metric_constraints: "Sequence[Constraint]",
+) -> bool:
+    """Whether a row can participate in dominance ranking.
+
+    A row is rankable when it passes every metric constraint and carries a
+    finite float under every objective metric; anything else (constraint
+    violations, ``None`` metrics from infeasible sizings) ranks behind all
+    rankable rows.
+    """
+    try:
+        if not all(constraint.accepts(row) for constraint in metric_constraints):
+            return False
+        return all(math.isfinite(objective.oriented(row)) for objective in objectives)
+    except (KeyError, TypeError, ValueError):
+        return False
+
+
+def rank_rows(
+    rows: "Sequence[Mapping[str, object]]",
+    objectives: "Sequence[Objective]",
+    group_by: "str | Sequence[str] | None",
+    metric_constraints: "Sequence[Constraint]" = (),
+) -> "list[tuple[int, int, float, int]]":
+    """Deterministic fitness tuple per row; lower sorts better.
+
+    The tuple is ``(infeasible, pareto_rank, utopia_distance, index)``:
+
+    * ``infeasible`` -- 0 for rankable rows (see :func:`is_rankable`), 1 else;
+    * ``pareto_rank`` -- non-dominated sorting depth within the row's frontier
+      group (0 = on the group frontier, 1 = frontier after peeling it, ...);
+    * ``utopia_distance`` -- knee-style distance: objectives min-max
+      normalized over the group's rankable rows, Euclidean distance to the
+      all-ones utopia point (degenerate objectives contribute nothing);
+    * ``index`` -- the row's input position, making the order total.
+    """
+    fitness: "list[tuple[int, int, float, int]]" = [
+        (1, 0, math.inf, index) for index in range(len(rows))
+    ]
+    groups: "dict[object, list[int]]" = {}
+    for index, row in enumerate(rows):
+        if is_rankable(row, objectives, metric_constraints):
+            groups.setdefault(_group_key(row, group_by), []).append(index)
+
+    for members in groups.values():
+        spans = []
+        for objective in objectives:
+            values = [objective.oriented(rows[index]) for index in members]
+            spans.append((objective, min(values), max(values)))
+
+        remaining = list(members)
+        rank = 0
+        while remaining:
+            frontier = pareto_frontier([rows[index] for index in remaining], objectives)
+            frontier_ids = {id(row) for row in frontier}
+            next_remaining = []
+            for index in remaining:
+                if id(rows[index]) not in frontier_ids:
+                    next_remaining.append(index)
+                    continue
+                distance = 0.0
+                for objective, lo, hi in spans:
+                    if hi <= lo:
+                        continue
+                    normalized = (objective.oriented(rows[index]) - lo) / (hi - lo)
+                    distance += (1.0 - normalized) ** 2
+                fitness[index] = (0, rank, distance, index)
+            remaining = next_remaining
+            rank += 1
+    return fitness

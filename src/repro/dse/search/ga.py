@@ -1,0 +1,379 @@
+"""Seeded genetic-algorithm search over a :class:`~repro.dse.space.DesignSpace`.
+
+The driver evolves genomes (one axis-value index per axis) toward the Pareto
+frontier of the explorer's objectives:
+
+* the initial population is a seeded :meth:`~repro.dse.space.DesignSpace.sample`
+  of the constrained space;
+* selection is size-``k`` tournament on the deterministic fitness of
+  :func:`~repro.dse.search.base.rank_rows` (feasibility, then Pareto rank,
+  then knee distance);
+* variation is uniform per-axis crossover plus per-axis point mutation, with
+  parameter-constraint repair by re-mutation;
+* the top ``elite`` genomes survive each generation unchanged;
+* a final knee-refinement phase spends the reserved tail of the budget
+  (:attr:`GaConfig.knee_refine_fraction`) evaluating the proxy-ranked
+  Hamming-<=2 neighborhood of each group's knee pick, pinning the reported
+  knees onto the space's true knee designs.
+
+Every generation's new genomes are evaluated in one batch through the
+explorer's executor (order-preserving, so serial and parallel runs are
+bit-identical) and deduplicated through the explorer's content-addressed
+result cache -- a genome revisited within a run, across runs, or across
+processes costs zero model evaluations.  The evaluation *budget* counts
+unique genomes submitted for evaluation, so the search trajectory is
+independent of cache warmth: a warm-cache re-run walks the exact same
+genomes and reports ``evaluated == 0``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.dse.pareto import _group_key, knee_point, pareto_frontier
+from repro.dse.search.base import SearchOutcome, rank_rows
+from repro.dse.search.proxy import proxy_fidelity_limit, run_proxy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import avoids a module cycle
+    from repro.dse.explorer import Explorer
+
+
+@dataclass(frozen=True)
+class GaConfig:
+    """Tunables of the genetic search (defaults suit 10^2..10^6-point spaces).
+
+    Attributes:
+        population_size: genomes per generation.
+        elite: top genomes copied unchanged into the next generation.
+        tournament_size: competitors per selection tournament.
+        crossover_rate: probability a child is crossed over (else cloned).
+        mutation_rate: per-axis probability of a point mutation.
+        max_generations: hard generation cap.
+        stall_generations: stop after this many generations with no new genome.
+        repair_attempts: re-mutation tries to satisfy parameter constraints.
+        knee_refine_fraction: budget share reserved for the knee-refinement
+            phase.  Each refinement round ranks the unevaluated Hamming-<=2
+            neighborhood of every group's current knee pick on the analytic
+            proxy surface (see :mod:`repro.dse.search.proxy`) and evaluates
+            the proxy-best few for real; repeated rounds walk the knee pick
+            onto the space's true knee and evaluate the dominators that
+            eliminate spurious frontier members.  0 disables the phase.
+    """
+
+    population_size: int = 16
+    elite: int = 2
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.25
+    max_generations: int = 64
+    stall_generations: int = 4
+    repair_attempts: int = 32
+    knee_refine_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0 <= self.elite < self.population_size:
+            raise ValueError("elite must be in [0, population_size)")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0.0 <= self.knee_refine_fraction < 1.0:
+            raise ValueError("knee_refine_fraction must be in [0, 1)")
+
+
+class GeneticSearch:
+    """Runs one seeded GA over the explorer's space, objectives, and cache.
+
+    Args:
+        explorer: the configured :class:`~repro.dse.explorer.Explorer`; the
+            driver reuses its space, objectives, grouping, executor, and cache.
+        budget: maximum number of unique genomes to evaluate.
+        seed: RNG seed; one :class:`random.Random` drives sampling, selection,
+            and variation, so the whole trajectory replays from the seed.
+        config: optional :class:`GaConfig` overriding the defaults.
+    """
+
+    def __init__(
+        self,
+        explorer: "Explorer",
+        budget: int,
+        seed: int = 0,
+        config: "GaConfig | None" = None,
+    ):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.explorer = explorer
+        self.space = explorer.space
+        self.budget = budget
+        self.seed = seed
+        self.config = config or GaConfig()
+        self.rng = random.Random(seed)
+        self._axes = self.space.axes
+        self._index_of = [
+            {repr(value): index for index, value in enumerate(axis.values)}
+            for axis in self._axes
+        ]
+
+    # ------------------------------------------------------------- genome ops
+    def _genome_of(self, candidate: "dict[str, object]") -> "tuple[int, ...]":
+        return tuple(
+            self._index_of[position][repr(candidate[axis.name])]
+            for position, axis in enumerate(self._axes)
+        )
+
+    def _candidate_of(self, genome: "tuple[int, ...]") -> "dict[str, object]":
+        return {
+            axis.name: axis.values[index]
+            for axis, index in zip(self._axes, genome)
+        }
+
+    def _satisfies_constraints(self, genome: "tuple[int, ...]") -> bool:
+        candidate = self._candidate_of(genome)
+        return all(c.accepts(candidate) for c in self.space.constraints)
+
+    def _mutate(self, genome: "tuple[int, ...]") -> "tuple[int, ...]":
+        mutated = list(genome)
+        for position, axis in enumerate(self._axes):
+            if len(axis) > 1 and self.rng.random() < self.config.mutation_rate:
+                shifted = self.rng.randrange(len(axis) - 1)
+                if shifted >= mutated[position]:
+                    shifted += 1  # pick uniformly among the *other* values
+                mutated[position] = shifted
+        return tuple(mutated)
+
+    def _crossover(
+        self, first: "tuple[int, ...]", second: "tuple[int, ...]"
+    ) -> "tuple[int, ...]":
+        return tuple(
+            a if self.rng.random() < 0.5 else b for a, b in zip(first, second)
+        )
+
+    def _make_child(
+        self, first: "tuple[int, ...]", second: "tuple[int, ...]"
+    ) -> "tuple[int, ...]":
+        if self.rng.random() < self.config.crossover_rate:
+            child = self._crossover(first, second)
+        else:
+            child = first
+        child = self._mutate(child)
+        for _ in range(self.config.repair_attempts):
+            if self._satisfies_constraints(child):
+                return child
+            child = self._mutate(child)
+        return first  # parents always satisfy the parameter constraints
+
+    def _tournament(
+        self, population: "list[tuple[int, ...]]", fitness: "dict[tuple[int, ...], object]"
+    ) -> "tuple[int, ...]":
+        size = min(self.config.tournament_size, len(population))
+        contenders = [
+            population[self.rng.randrange(len(population))] for _ in range(size)
+        ]
+        return min(contenders, key=lambda genome: fitness[genome])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ refinement
+    def _neighborhood(self, genome: "tuple[int, ...]") -> "list[tuple[int, ...]]":
+        """All genomes within Hamming distance 2 of ``genome``, in stable order.
+
+        Distance 2 matters: Pareto-adjacent chip designs often trade one axis
+        against another at a constant total (halve the pods, double the cores
+        per pod), so the nearest frontier neighbor is frequently two single-axis
+        steps away.
+        """
+        axes = self._axes
+        neighbors: "list[tuple[int, ...]]" = []
+        seen = {genome}
+        for first_pos in range(len(axes)):
+            for first_val in range(len(axes[first_pos])):
+                if first_val == genome[first_pos]:
+                    continue
+                step = genome[:first_pos] + (first_val,) + genome[first_pos + 1:]
+                if step not in seen:
+                    seen.add(step)
+                    neighbors.append(step)
+                for second_pos in range(first_pos + 1, len(axes)):
+                    for second_val in range(len(axes[second_pos])):
+                        if second_val == step[second_pos]:
+                            continue
+                        double = (
+                            step[:second_pos] + (second_val,) + step[second_pos + 1:]
+                        )
+                        if double not in seen:
+                            seen.add(double)
+                            neighbors.append(double)
+        return neighbors
+
+    def _current_knees(
+        self,
+        order: "list[tuple[int, ...]]",
+        rows_by_genome: "dict[tuple[int, ...], dict[str, object]]",
+    ) -> "list[tuple[int, ...]]":
+        """The genome each frontier group's knee pick currently points at.
+
+        Mirrors the explorer's result assembly (feasible rows, grouped
+        frontier, knee per group), so refinement targets exactly the picks the
+        final exploration result will report.
+        """
+        rows = []
+        genome_of_row: "dict[int, tuple[int, ...]]" = {}
+        for genome in order:
+            row = rows_by_genome[genome]
+            rows.append(row)
+            genome_of_row[id(row)] = genome
+        feasible = [
+            row
+            for row in rows
+            if all(c.accepts(row) for c in self.space.metric_constraints)
+        ]
+        if not feasible:
+            return []
+        frontier = pareto_frontier(
+            feasible, self.explorer.objectives, self.explorer.group_by
+        )
+        by_group: "dict[object, list[dict[str, object]]]" = {}
+        for row in frontier:
+            by_group.setdefault(
+                _group_key(row, self.explorer.group_by), []
+            ).append(row)
+        knees = []
+        for members in by_group.values():
+            knee = knee_point(members, self.explorer.objectives)
+            if knee is not None:
+                knees.append(genome_of_row[id(knee)])
+        return knees
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> SearchOutcome:
+        """Evolve until the budget, generation cap, or a stall stops the run.
+
+        The run has two phases: the evolutionary loop proper, followed by a
+        knee-refinement phase (see :attr:`GaConfig.knee_refine_fraction`) that
+        sweeps single-axis neighborhoods of each group's knee pick until the
+        picks stop moving or the budget is exhausted.
+        """
+        config = self.config
+        order: "list[tuple[int, ...]]" = []  # first-evaluation order
+        rows_by_genome: "dict[tuple[int, ...], dict[str, object]]" = {}
+        metrics_by_genome: "dict[tuple[int, ...], dict[str, object]]" = {}
+        cache_hits = 0
+
+        def evaluate(genomes: "list[tuple[int, ...]]", cap: int) -> None:
+            """Evaluate the not-yet-seen genomes, trimmed to the budget cap."""
+            nonlocal cache_hits
+            fresh = []
+            for genome in genomes:
+                if genome not in metrics_by_genome and genome not in fresh:
+                    fresh.append(genome)
+            fresh = fresh[: max(0, cap - len(order))]
+            if not fresh:
+                return
+            candidates = [self._candidate_of(genome) for genome in fresh]
+            metrics, hits = self.explorer._evaluate(candidates)  # noqa: SLF001
+            cache_hits += hits
+            for genome, candidate, metric in zip(fresh, candidates, metrics):
+                order.append(genome)
+                metrics_by_genome[genome] = metric
+                rows_by_genome[genome] = {**candidate, **metric}
+
+        refine_budget = int(round(self.budget * config.knee_refine_fraction))
+        ga_budget = max(1, self.budget - refine_budget)
+
+        initial = self.space.sample(
+            min(config.population_size, ga_budget), self.seed
+        )
+        population = [self._genome_of(candidate) for candidate in initial]
+        evaluate(population, ga_budget)
+
+        generations = 0
+        stalled = 0
+        while (
+            len(order) < ga_budget
+            and generations < config.max_generations
+            and stalled < config.stall_generations
+        ):
+            generations += 1
+            evaluated_rows = [rows_by_genome[genome] for genome in order]
+            ranks = rank_rows(
+                evaluated_rows,
+                self.explorer.objectives,
+                self.explorer.group_by,
+                self.space.metric_constraints,
+            )
+            fitness = dict(zip(order, ranks))
+            pool = [genome for genome in population if genome in fitness]
+            if not pool:
+                pool = list(order)
+            elites = sorted(pool, key=lambda genome: fitness[genome])[: config.elite]
+            next_population = list(elites)
+            while len(next_population) < config.population_size:
+                first = self._tournament(pool, fitness)
+                second = self._tournament(pool, fitness)
+                next_population.append(self._make_child(first, second))
+            population = next_population
+            before = len(order)
+            evaluate(population, ga_budget)
+            stalled = stalled + 1 if len(order) == before else 0
+
+        # Knee refinement: proxy-rank the Hamming-<=2 neighborhood of each
+        # group's current knee pick, evaluate the proxy-best few for real,
+        # and repeat until the picks are stable or the budget is spent.
+        fidelity = (
+            proxy_fidelity_limit(
+                {**self.explorer.fixed_params, **self._candidate_of(order[0])}
+            )
+            if order
+            else 1
+        )
+        while len(order) < self.budget:
+            knees = self._current_knees(order, rows_by_genome)
+            pool: "list[tuple[int, ...]]" = []
+            for genome in knees:
+                for neighbor in self._neighborhood(genome):
+                    if (
+                        neighbor not in metrics_by_genome
+                        and neighbor not in pool
+                        and self._satisfies_constraints(neighbor)
+                    ):
+                        pool.append(neighbor)
+            if not pool:
+                break
+            proxy_rows = []
+            for genome in pool:
+                candidate = self._candidate_of(genome)
+                params = {**self.explorer.fixed_params, **candidate}
+                proxy_rows.append(
+                    {**candidate, **run_proxy(self.explorer.evaluator, params, fidelity)}
+                )
+            fitness = rank_rows(
+                proxy_rows,
+                self.explorer.objectives,
+                self.explorer.group_by,
+                self.space.metric_constraints,
+            )
+            ranked = sorted(range(len(pool)), key=lambda index: fitness[index])
+            wave = [pool[index] for index in ranked[: max(4, 2 * len(knees))]]
+            before = len(order)
+            evaluate(wave, self.budget)
+            if len(order) == before:
+                break
+
+        candidates = [self._candidate_of(genome) for genome in order]
+        metrics = [metrics_by_genome[genome] for genome in order]
+        return SearchOutcome(
+            candidates=candidates,
+            metrics=metrics,
+            cache_hits=cache_hits,
+            stats={
+                "strategy": "ga",
+                "budget": self.budget,
+                "seed": self.seed,
+                "generations": generations,
+                "population_size": config.population_size,
+            },
+        )

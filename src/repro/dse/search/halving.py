@@ -1,0 +1,170 @@
+"""Successive-halving search: proxy-screen a pool, fully evaluate survivors.
+
+The driver draws a seeded candidate pool several times larger than the
+evaluation budget, ranks it with the cheap analytic proxies of
+:mod:`repro.dse.search.proxy` (no model evaluations, no cache traffic), and
+repeatedly keeps the best ``1/eta`` fraction -- re-scoring each rung at a
+higher proxy fidelity (more suite workloads) -- until at most ``budget``
+candidates remain.  Only those survivors are promoted to the full evaluator
+through the explorer's executor and content-addressed cache.
+
+Rung selection is frontier-group aware: the keep quota is apportioned across
+the explorer's frontier groups (e.g. the OoO and in-order core families)
+proportionally to their pool share, so halving never collapses onto a single
+family before the full models get to judge.  Everything is deterministic in
+``seed``: the pool, the rung sizes, the proxy ranking, and the survivor
+order, whether evaluations then fan out serially or to a process pool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.dse.pareto import _group_key
+from repro.dse.search.base import SearchOutcome, rank_rows
+from repro.dse.search.proxy import proxy_fidelity_limit, run_proxy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import avoids a module cycle
+    from repro.dse.explorer import Explorer
+
+
+class SuccessiveHalving:
+    """Runs one proxy-screened halving search for the explorer.
+
+    Args:
+        explorer: the configured :class:`~repro.dse.explorer.Explorer`; the
+            driver reuses its space, objectives, grouping, executor, and cache.
+        budget: maximum number of candidates promoted to full evaluation.
+        seed: seed of the pool draw (the rest of the run is deterministic).
+        eta: keep fraction per rung (each rung keeps ``1/eta`` of the pool).
+        pool_size: proxy-screened pool size; defaults to ``budget * eta**2``
+            (two rungs), capped at the space's feasible candidate count.
+    """
+
+    def __init__(
+        self,
+        explorer: "Explorer",
+        budget: int,
+        seed: int = 0,
+        eta: int = 4,
+        pool_size: "int | None" = None,
+    ):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if pool_size is not None and pool_size < budget:
+            raise ValueError("pool_size must be >= budget")
+        self.explorer = explorer
+        self.space = explorer.space
+        self.budget = budget
+        self.seed = seed
+        self.eta = eta
+        self.pool_size = pool_size
+
+    def _keep_quotas(
+        self, group_sizes: "list[int]", total: int
+    ) -> "list[int]":
+        """Per-group keep counts summing to ``min(total, pool)``, >= 1 each.
+
+        Quotas are proportional to group pool share, with largest-remainder
+        rounding; ties and trims resolve by group order, keeping allocation
+        deterministic.
+        """
+        pool = sum(group_sizes)
+        total = min(total, pool)
+        if len(group_sizes) >= total:
+            # Not enough quota for every group: earlier groups win one slot each.
+            return [1 if index < total else 0 for index in range(len(group_sizes))]
+        raw = [total * size / pool for size in group_sizes]
+        quotas = [max(1, math.floor(value)) for value in raw]
+        remainders = sorted(
+            range(len(raw)),
+            key=lambda index: (-(raw[index] - math.floor(raw[index])), index),
+        )
+        position = 0
+        while sum(quotas) < total:
+            index = remainders[position % len(remainders)]
+            if quotas[index] < group_sizes[index]:
+                quotas[index] += 1
+            position += 1
+        largest = sorted(range(len(quotas)), key=lambda index: (-quotas[index], index))
+        position = 0
+        while sum(quotas) > total:
+            index = largest[position % len(quotas)]
+            if quotas[index] > 1:
+                quotas[index] -= 1
+            position += 1
+        return quotas
+
+    def _select_rung(
+        self,
+        pool: "list[dict[str, object]]",
+        proxy_rows: "list[dict[str, object]]",
+        keep: int,
+    ) -> "list[int]":
+        """Indices (in pool order) of the candidates surviving one rung."""
+        fitness = rank_rows(
+            proxy_rows,
+            self.explorer.objectives,
+            self.explorer.group_by,
+            self.space.metric_constraints,
+        )
+        groups: "dict[object, list[int]]" = {}
+        for index, row in enumerate(proxy_rows):
+            groups.setdefault(_group_key(row, self.explorer.group_by), []).append(index)
+        members = list(groups.values())
+        quotas = self._keep_quotas([len(m) for m in members], keep)
+        survivors: "list[int]" = []
+        for quota, indices in zip(quotas, members):
+            ordered = sorted(indices, key=lambda index: fitness[index])
+            survivors.extend(ordered[:quota])
+        return sorted(survivors)
+
+    def run(self) -> SearchOutcome:
+        """Screen the pool down to the budget, then fully evaluate survivors."""
+        feasible = self.space.feasible_count()
+        budget = min(self.budget, feasible)
+        pool_size = self.pool_size or budget * self.eta**2
+        pool_size = max(budget, min(pool_size, feasible))
+        pool = self.space.sample(pool_size, self.seed)
+
+        sizes: "list[int]" = []
+        size = pool_size
+        while size > budget:
+            size = max(budget, math.ceil(size / self.eta))
+            sizes.append(size)
+
+        fidelity_limit = proxy_fidelity_limit(
+            {**self.explorer.fixed_params, **pool[0]}
+        )
+        survivors = pool
+        proxy_evaluations = 0
+        for rung, keep in enumerate(sizes):
+            fidelity = max(1, math.ceil(fidelity_limit * (rung + 1) / len(sizes)))
+            proxy_rows = []
+            for candidate in survivors:
+                params = {**self.explorer.fixed_params, **candidate}
+                proxy_rows.append(
+                    {**candidate, **run_proxy(self.explorer.evaluator, params, fidelity)}
+                )
+            proxy_evaluations += len(survivors)
+            kept = self._select_rung(survivors, proxy_rows, keep)
+            survivors = [survivors[index] for index in kept]
+
+        metrics, cache_hits = self.explorer._evaluate(survivors)  # noqa: SLF001
+        return SearchOutcome(
+            candidates=survivors,
+            metrics=metrics,
+            cache_hits=cache_hits,
+            stats={
+                "strategy": "halving",
+                "budget": self.budget,
+                "seed": self.seed,
+                "eta": self.eta,
+                "pool": pool_size,
+                "rungs": sizes,
+                "proxy_evaluations": proxy_evaluations,
+            },
+        )

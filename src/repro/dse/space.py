@@ -121,6 +121,27 @@ class DesignSpace:
         for combo in itertools.product(*(axis.values for axis in self.axes)):
             yield dict(zip(names, combo))
 
+    def _feasible_candidates(self) -> "Iterator[dict[str, object]]":
+        """Stream candidates passing the parameter constraints, in stable order."""
+        for candidate in self._raw_candidates():
+            if all(c.accepts(candidate) for c in self.constraints):
+                yield candidate
+
+    def _raise_empty(self) -> None:
+        names = [c.name for c in self.constraints]
+        raise EmptyDesignSpaceError(
+            f"all {self.size} candidates were filtered out by the parameter "
+            f"constraints {names}; relax a constraint or widen an axis"
+        )
+
+    def feasible_count(self) -> int:
+        """Number of candidates passing the parameter constraints.
+
+        Streams over the cross product without materializing it, so it is
+        usable on spaces far too large to :meth:`enumerate`.
+        """
+        return sum(1 for _ in self._feasible_candidates())
+
     def enumerate(self) -> "list[dict[str, object]]":
         """All candidates passing the parameter constraints, in stable order.
 
@@ -128,34 +149,40 @@ class DesignSpace:
             EmptyDesignSpaceError: if the constraints prune every candidate,
                 naming the constraints so the caller can see what to relax.
         """
-        candidates = [
-            candidate
-            for candidate in self._raw_candidates()
-            if all(c.accepts(candidate) for c in self.constraints)
-        ]
+        candidates = list(self._feasible_candidates())
         if not candidates:
-            names = [c.name for c in self.constraints]
-            raise EmptyDesignSpaceError(
-                f"all {self.size} candidates were filtered out by the parameter "
-                f"constraints {names}; relax a constraint or widen an axis"
-            )
+            self._raise_empty()
         return candidates
 
     def sample(self, count: int, seed: int = 0) -> "list[dict[str, object]]":
-        """A seeded, order-preserving subset of :meth:`enumerate`.
+        """A seeded, order-preserving subset of the constrained enumeration.
+
+        Streams over the cross product twice (a counting pass, then a
+        collection pass over a seeded index set), so memory is O(count) even
+        for million-candidate spaces -- the full enumeration is never
+        materialized.  The selected subset is identical to what the historical
+        materialize-then-sample implementation picked for the same seed.
 
         Args:
-            count: number of candidates to keep (the full enumeration is
-                returned when ``count`` meets or exceeds it).
+            count: number of candidates to keep (every feasible candidate is
+                returned when ``count`` meets or exceeds the feasible count).
             seed: RNG seed; the same seed always selects the same subset.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
-        candidates = self.enumerate()
-        if count >= len(candidates):
-            return candidates
-        picked = sorted(random.Random(seed).sample(range(len(candidates)), count))
-        return [candidates[i] for i in picked]
+        total = self.feasible_count()
+        if total == 0:
+            self._raise_empty()
+        if count >= total:
+            return list(self._feasible_candidates())
+        picked = set(random.Random(seed).sample(range(total), count))
+        selection: "list[dict[str, object]]" = []
+        for index, candidate in enumerate(self._feasible_candidates()):
+            if index in picked:
+                selection.append(candidate)
+                if len(selection) == count:
+                    break
+        return selection
 
     # ------------------------------------------------------------- describe
     def describe(self) -> "dict[str, object]":

@@ -1,6 +1,6 @@
 """Catalogued design-space explorations (``kind="explore"`` specs).
 
-Three ready-made explorations ship with the catalog, each an instance of the
+Four ready-made explorations ship with the catalog, each an instance of the
 paper's central question -- *which scale-out design should you build?* -- asked
 through the :class:`~repro.dse.explorer.Explorer`:
 
@@ -14,13 +14,20 @@ through the :class:`~repro.dse.explorer.Explorer`:
 * :func:`explore_sla_sizing` -- an SLA-constrained exploration: candidates are
   sized to a QPS target under a p99 SLA and compared on monthly TCO versus
   achieved tail latency; infeasible SLAs are filtered by a metric constraint.
+* :func:`explore_pod_scale` -- the pod space with every axis widened to a
+  ~111k-candidate space that only the search strategies can touch; exhaustive
+  exploration is rejected outright.
 
 Every function returns a JSON-able payload (``candidates`` / ``frontier`` /
 ``knees`` / ``stats``) and accepts an ``executor`` so the runtime can fan
-candidates out in parallel.  Evaluations are deduplicated through the
-content-addressed cache (``evaluation_cache`` overrides where, and
-``use_evaluation_cache=False`` forces every candidate through the models;
-the CLI's ``--cache-dir`` / ``--no-cache`` flags map onto both).
+candidates out in parallel.  The ``strategy`` parameter selects between
+exhaustive enumeration and the search drivers of :mod:`repro.dse.search`
+(``"ga"`` / ``"halving"``, bounded by ``budget`` unique evaluations; the
+CLI's ``--strategy`` / ``--budget`` / ``--seed`` flags map onto these).
+Evaluations are deduplicated through the content-addressed cache
+(``evaluation_cache`` overrides where, and ``use_evaluation_cache=False``
+forces every candidate through the models; the CLI's ``--cache-dir`` /
+``--no-cache`` flags map onto both).
 """
 
 from __future__ import annotations
@@ -74,6 +81,8 @@ def explore_pod_40nm(
     interconnect: str = "crossbar",
     sample: "int | None" = None,
     seed: int = 0,
+    strategy: str = "exhaustive",
+    budget: "int | None" = None,
     use_evaluation_cache: bool = True,
     evaluation_cache: "ResultCache | None" = None,
     executor: "SweepExecutor | None" = None,
@@ -96,7 +105,7 @@ def explore_pod_40nm(
         cache=evaluation_cache,
         use_cache=use_evaluation_cache,
     )
-    result = explorer.explore(sample=sample, seed=seed)
+    result = explorer.explore(sample=sample, seed=seed, strategy=strategy, budget=budget)
     payload = result.payload()
     payload["space"] = space.describe()
     return payload
@@ -110,6 +119,8 @@ def explore_scaling_20nm(
     interconnect: str = "crossbar",
     sample: "int | None" = None,
     seed: int = 0,
+    strategy: str = "exhaustive",
+    budget: "int | None" = None,
     use_evaluation_cache: bool = True,
     evaluation_cache: "ResultCache | None" = None,
     executor: "SweepExecutor | None" = None,
@@ -137,7 +148,7 @@ def explore_scaling_20nm(
         cache=evaluation_cache,
         use_cache=use_evaluation_cache,
     )
-    result = explorer.explore(sample=sample, seed=seed)
+    result = explorer.explore(sample=sample, seed=seed, strategy=strategy, budget=budget)
     payload = result.payload()
     payload["space"] = space.describe()
     return payload
@@ -155,6 +166,8 @@ def explore_sla_sizing(
     interconnect: str = "crossbar",
     sample: "int | None" = None,
     seed: int = 0,
+    strategy: str = "exhaustive",
+    budget: "int | None" = None,
     use_evaluation_cache: bool = True,
     evaluation_cache: "ResultCache | None" = None,
     executor: "SweepExecutor | None" = None,
@@ -198,10 +211,71 @@ def explore_sla_sizing(
         cache=evaluation_cache,
         use_cache=use_evaluation_cache,
     )
-    result = explorer.explore(sample=sample, seed=seed)
+    result = explorer.explore(sample=sample, seed=seed, strategy=strategy, budget=budget)
     payload = result.payload()
     payload["space"] = space.describe()
     payload["target_qps"] = target_qps
     payload["sla_p99_ms"] = sla_p99_ms
     payload["workload"] = workload
+    return payload
+
+
+def explore_pod_scale(
+    core_types: "Sequence[str]" = ("ooo", "inorder"),
+    cores_per_pod: "Sequence[int]" = (4, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64),
+    llc_per_pod_mb: "Sequence[float]" = (
+        0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0,
+    ),
+    pods_per_chip: "Sequence[int]" = tuple(range(1, 17)),
+    nodes: "Sequence[str]" = ("40nm", "20nm"),
+    interconnects: "Sequence[str]" = ("crossbar", "mesh", "nocout"),
+    reference_utilization: "Sequence[float]" = (0.5, 0.65, 0.8, 0.9),
+    sample: "int | None" = None,
+    seed: int = 0,
+    strategy: str = "ga",
+    budget: "int | None" = 96,
+    use_evaluation_cache: bool = True,
+    evaluation_cache: "ResultCache | None" = None,
+    executor: "SweepExecutor | None" = None,
+) -> "dict[str, object]":
+    """The pod space at scale: ~111k candidates, reachable only by search.
+
+    Every axis of :func:`explore_pod_40nm` is widened -- finer core counts and
+    LLC capacities, pods up to 16, both technology nodes, three interconnect
+    generations, and the utilization the power model assumes -- yielding a
+    space (default 110,592 candidates) far past what exhaustive evaluation can
+    touch.  The GA (default) or halving driver finds the per-family frontiers
+    within ``budget`` model evaluations; ``strategy="exhaustive"`` is rejected
+    with a :class:`ValueError` rather than silently melting the machine.
+    """
+    space = DesignSpace(
+        axes=(
+            Axis("core_type", tuple(core_types)),
+            Axis("cores_per_pod", tuple(cores_per_pod)),
+            Axis("llc_per_pod_mb", tuple(llc_per_pod_mb)),
+            Axis("pods_per_chip", tuple(pods_per_chip)),
+            Axis("node", tuple(nodes)),
+            Axis("interconnect", tuple(interconnects)),
+            Axis("reference_utilization", tuple(reference_utilization)),
+        ),
+        metric_constraints=(FITS_BUDGETS,),
+    )
+    if strategy == "exhaustive":
+        raise ValueError(
+            f"explore_pod_scale spans {space.size} candidates; exhaustive "
+            "exploration is not supported -- pick strategy='ga' or "
+            "strategy='halving' with an evaluation budget"
+        )
+    explorer = Explorer(
+        space,
+        objectives=CHIP_OBJECTIVES,
+        evaluator="chip",
+        group_by="core_type",
+        executor=executor,
+        cache=evaluation_cache,
+        use_cache=use_evaluation_cache,
+    )
+    result = explorer.explore(sample=sample, seed=seed, strategy=strategy, budget=budget)
+    payload = result.payload()
+    payload["space"] = space.describe()
     return payload

@@ -2,9 +2,11 @@
 
 ``python -m repro bench --json`` times the registered benchmark targets twice
 -- once on the default fast path and once on the pre-PR reference path (the
-``use_fastpath=False`` / ``engine="event"`` escape hatches) -- and writes one
-JSON file per domain (``BENCH_noc.json``, ``BENCH_service.json``).  Committing
-those files gives every future change a recorded baseline to regress against.
+``use_fastpath=False`` / ``engine="event"`` escape hatches, or the pure-Python
+Pareto reference and exhaustive exploration for the DSE targets) -- and writes
+one JSON file per domain (``BENCH_noc.json``, ``BENCH_service.json``,
+``BENCH_dse.json``).  Committing those files gives every future change a
+recorded baseline to regress against.
 
 Schema (``schema: 1``)::
 
@@ -82,16 +84,141 @@ def _service_request_count(kwargs: "Mapping[str, object]") -> int:
     return len(tuple(utilizations)) * num_requests
 
 
+def _bench_pareto_kernel(overrides: "Mapping[str, object]") -> "dict[str, object]":
+    """Time the vectorized dominance kernel against the pure-Python reference.
+
+    Builds a seeded synthetic dataset (three objectives, two frontier groups,
+    deliberate duplicate rows so ties are exercised), extracts the frontier
+    through both ``method="numpy"`` and ``method="reference"``, checks the two
+    agree row-for-row, and reports the wall times.  ``--set rows=N`` shrinks
+    the dataset (the committed baseline uses the default 100k rows; CI smokes
+    use a few thousand so the quadratic reference stays cheap).
+    """
+    import random
+
+    from repro.dse.pareto import Objective, pareto_frontier
+
+    rows_n = int(overrides.get("rows", 100_000))
+    seed = int(overrides.get("seed", 0))
+    rng = random.Random(seed)
+    objectives = (
+        Objective.maximize("throughput"),
+        Objective.maximize("efficiency"),
+        Objective.minimize("cost"),
+    )
+    rows: "list[dict[str, object]]" = []
+    for index in range(rows_n):
+        if index % 10 == 9 and rows:
+            # Duplicate an earlier row's metrics so the kernel sees exact ties.
+            donor = rows[rng.randrange(len(rows))]
+            row = {**donor, "group": rng.choice(("x", "y"))}
+        else:
+            row = {
+                "group": rng.choice(("x", "y")),
+                "throughput": rng.random(),
+                "efficiency": rng.random(),
+                "cost": rng.random(),
+            }
+        rows.append(row)
+
+    start = time.perf_counter()
+    fast = pareto_frontier(rows, objectives, group_by="group", method="numpy")
+    fast_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    reference = pareto_frontier(rows, objectives, group_by="group", method="reference")
+    reference_wall = time.perf_counter() - start
+    if [id(row) for row in fast] != [id(row) for row in reference]:
+        raise AssertionError("numpy and reference frontiers disagree")
+
+    return {
+        "unit": "rows",
+        "units": rows_n,
+        "parameters": {"rows": rows_n, "seed": seed},
+        "frontier_size": len(fast),
+        "fastpath": {
+            "wall_s": round(fast_wall, 6),
+            "units_per_s": round(rows_n / max(fast_wall, 1e-9), 1),
+        },
+        "reference": {
+            "wall_s": round(reference_wall, 6),
+            "units_per_s": round(rows_n / max(reference_wall, 1e-9), 1),
+        },
+        "speedup": round(reference_wall / max(fast_wall, 1e-9), 2),
+    }
+
+
+def _bench_search(strategy: str) -> "Callable[[Mapping[str, object]], dict[str, object]]":
+    """Runner timing one search strategy against exhaustive exploration.
+
+    Both variants solve the same ``explore_pod_40nm`` problem with the
+    evaluation cache off; the entry records wall times, model evaluations
+    spent and saved, and whether the search recovered the exhaustive study's
+    knee designs exactly.
+    """
+
+    def runner(overrides: "Mapping[str, object]") -> "dict[str, object]":
+        """Time ``strategy`` and exhaustive on pod_40nm; compare their knees."""
+        from repro.dse.studies import explore_pod_40nm
+
+        budget = int(overrides.get("budget", 48))
+        seed = int(overrides.get("seed", 0))
+        start = time.perf_counter()
+        searched = explore_pod_40nm(
+            strategy=strategy, budget=budget, seed=seed, use_evaluation_cache=False
+        )
+        search_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        exhaustive = explore_pod_40nm(use_evaluation_cache=False)
+        exhaustive_wall = time.perf_counter() - start
+
+        space_size = int(exhaustive["stats"]["space_size"])  # type: ignore[index,call-overload]
+        knees = {
+            label: knee["candidate"]
+            for label, knee in sorted(searched["knees"].items())  # type: ignore[attr-defined]
+        }
+        exhaustive_knees = {
+            label: knee["candidate"]
+            for label, knee in sorted(exhaustive["knees"].items())  # type: ignore[attr-defined]
+        }
+        evaluations = int(searched["stats"]["evaluated"])  # type: ignore[index,call-overload]
+        return {
+            "unit": "candidates",
+            "units": space_size,
+            "parameters": {"budget": budget, "seed": seed, "strategy": strategy},
+            "fastpath": {
+                "wall_s": round(search_wall, 6),
+                "units_per_s": round(space_size / max(search_wall, 1e-9), 1),
+                "evaluations": evaluations,
+            },
+            "reference": {
+                "wall_s": round(exhaustive_wall, 6),
+                "units_per_s": round(space_size / max(exhaustive_wall, 1e-9), 1),
+                "evaluations": space_size,
+            },
+            "speedup": round(exhaustive_wall / max(search_wall, 1e-9), 2),
+            "evaluations_saved": space_size - evaluations,
+            "space_fraction_evaluated": round(evaluations / space_size, 4),
+            "knees": knees,
+            "knees_match_exhaustive": knees == exhaustive_knees,
+        }
+
+    return runner
+
+
 @dataclass(frozen=True)
 class BenchTarget:
     """One experiment tracked in the perf trajectory.
 
     Attributes:
-        experiment_id: catalog id to run.
+        experiment_id: catalog id to run (or the target's own name for
+            runner-based targets, which need not be catalog ids).
         domain: BENCH file the entry lands in (``BENCH_<domain>.json``).
         unit: what :attr:`count_units` counts ("packets", "requests").
         reference_overrides: kwargs selecting the pre-PR reference path.
         count_units: exact work units for a given kwargs dict.
+        runner: self-contained benchmark producing the whole entry body
+            (fastpath/reference/speedup) from the CLI overrides; targets with
+            a runner never touch the experiment catalog.
     """
 
     experiment_id: str
@@ -99,9 +226,10 @@ class BenchTarget:
     unit: str
     reference_overrides: "Mapping[str, object]" = field(default_factory=dict)
     count_units: "Callable[[Mapping[str, object]], int] | None" = None
+    runner: "Callable[[Mapping[str, object]], dict[str, object]] | None" = None
 
 
-#: The recorded perf trajectory: one NoC figure and one service sweep.
+#: The recorded perf trajectory: NoC, service, and the three DSE benchmarks.
 BENCH_TARGETS: "dict[str, BenchTarget]" = {
     "figure_4_6": BenchTarget(
         experiment_id="figure_4_6",
@@ -116,6 +244,24 @@ BENCH_TARGETS: "dict[str, BenchTarget]" = {
         unit="requests",
         reference_overrides={"engine": "event"},
         count_units=_service_request_count,
+    ),
+    "pareto_kernel": BenchTarget(
+        experiment_id="pareto_kernel",
+        domain="dse",
+        unit="rows",
+        runner=_bench_pareto_kernel,
+    ),
+    "dse_search_ga": BenchTarget(
+        experiment_id="dse_search_ga",
+        domain="dse",
+        unit="candidates",
+        runner=_bench_search("ga"),
+    ),
+    "dse_search_halving": BenchTarget(
+        experiment_id="dse_search_halving",
+        domain="dse",
+        unit="candidates",
+        runner=_bench_search("halving"),
     ),
 }
 
@@ -161,10 +307,15 @@ def run_bench_target(
     """Time one experiment (fast path, then reference path if registered).
 
     Unregistered ids still produce an entry -- wall time only, no domain --
-    so ``bench --json`` can time anything in the catalog.
+    so ``bench --json`` can time anything in the catalog.  Runner-based
+    targets (the DSE benchmarks) produce their entry directly, outside the
+    experiment catalog.
     """
-    overrides = _accepted_overrides(experiment_id, dict(overrides or {}))
     target = BENCH_TARGETS.get(experiment_id)
+    if target is not None and target.runner is not None:
+        entry = target.runner(dict(overrides or {}))
+        return {"experiment": experiment_id, "domain": target.domain, **entry}
+    overrides = _accepted_overrides(experiment_id, dict(overrides or {}))
     entry: "dict[str, object]" = {
         "experiment": experiment_id,
         "parameters": {

@@ -215,7 +215,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             f"{args.id!r} is a {spec.kind!r} spec, not an exploration; "
             f"explorations: {explore_ids}"
         )
-    result = _run_one(args.id, args)
+    # Forward the search flags only when given, so default runs keep the
+    # same cache identity (and the report's claims) they had before.
+    search_overrides = {
+        name: value
+        for name in ("strategy", "budget", "seed")
+        if (value := getattr(args, name, None)) is not None
+    }
+    result = _run_one(args.id, args, **search_overrides)
     payload = result.data if isinstance(result.data, dict) else {}
     if args.json:
         envelope = _envelope(result)
@@ -402,6 +409,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explore.add_argument("id", metavar="ID",
                            help="exploration id (see `list --kind explore`)")
+    p_explore.add_argument("--strategy", choices=("exhaustive", "ga", "halving"),
+                           default=None,
+                           help="exploration strategy (default: the spec's own; "
+                                "ga/halving search within --budget evaluations)")
+    p_explore.add_argument("--budget", type=int, default=None, metavar="N",
+                           help="evaluation budget for the search strategies")
+    p_explore.add_argument("--seed", type=int, default=None,
+                           help="seed for sampling and the search strategies")
     add_run_flags(p_explore)
     p_explore.set_defaults(func=_cmd_explore)
 

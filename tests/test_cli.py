@@ -19,7 +19,7 @@ class TestList:
         assert code == 0
         assert "figure_4_6" in out and "table_3_2" in out
         assert "service_latency_sweep" in out
-        assert "35 experiments" in out
+        assert "36 experiments" in out
 
     def test_list_filters(self, capsys):
         code, out, _ = run_cli(capsys, "list", "--chapter", "4", "--kind", "table")
@@ -156,19 +156,34 @@ class TestBench:
             "duration_cycles=600",
             "--set",
             "num_requests=1200",
+            "--set",
+            "rows=2000",
+            "--set",
+            "budget=24",
         )
         assert code == 0
         envelope = json.loads(out)
         assert envelope["schema"] == 1
         by_id = {entry["experiment"]: entry for entry in envelope["entries"]}
-        assert set(by_id) == {"figure_4_6", "service_latency_sweep"}
+        assert set(by_id) == {
+            "figure_4_6",
+            "service_latency_sweep",
+            "pareto_kernel",
+            "dse_search_ga",
+            "dse_search_halving",
+        }
         for entry in by_id.values():
             assert entry["units"] > 0
             assert entry["fastpath"]["wall_s"] > 0
-            assert entry["fastpath"]["cache_status"] == "disabled"
             assert entry["reference"]["wall_s"] > 0
             assert entry["speedup"] > 0
-        for domain, experiment in (("noc", "figure_4_6"), ("service", "service_latency_sweep")):
+        for experiment in ("figure_4_6", "service_latency_sweep"):
+            assert by_id[experiment]["fastpath"]["cache_status"] == "disabled"
+        for experiment in ("dse_search_ga", "dse_search_halving"):
+            assert by_id[experiment]["fastpath"]["evaluations"] <= 24
+            assert by_id[experiment]["evaluations_saved"] > 0
+        for domain, experiment in (("noc", "figure_4_6"), ("service", "service_latency_sweep"),
+                                   ("dse", "pareto_kernel")):
             payload = json.loads((tmp_path / f"BENCH_{domain}.json").read_text())
             assert payload["schema"] == 1
             assert payload["entries"][0]["experiment"] == experiment
@@ -237,6 +252,47 @@ class TestExplore:
     def test_explore_rejects_non_explore_specs(self, capsys):
         with pytest.raises(SystemExit, match="not an exploration"):
             run_cli(capsys, "explore", "figure_4_6")
+
+    def test_explore_strategy_flags_bound_the_search(self, capsys):
+        code, out, _ = run_cli(capsys, "explore", "explore_pod_40nm",
+                               "--strategy", "ga", "--budget", "16", "--seed", "3",
+                               "--no-cache", "--json")
+        assert code == 0
+        stats = json.loads(out)["stats"]
+        assert stats["strategy"] == "ga"
+        assert stats["budget"] == 16
+        assert stats["seed"] == 3
+        assert stats["candidates"] <= 16
+
+    def test_explore_halving_strategy_runs(self, capsys):
+        code, out, _ = run_cli(capsys, "explore", "explore_pod_40nm",
+                               "--strategy", "halving", "--budget", "12",
+                               "--no-cache", "--json")
+        assert code == 0
+        stats = json.loads(out)["stats"]
+        assert stats["strategy"] == "halving"
+        assert stats["candidates"] <= 12
+
+    def test_explore_same_seed_is_deterministic(self, capsys):
+        outs = []
+        for _ in range(2):
+            code, out, _ = run_cli(capsys, "explore", "explore_pod_40nm",
+                                   "--strategy", "ga", "--budget", "16",
+                                   "--seed", "1", "--no-cache", "--json")
+            assert code == 0
+            envelope = json.loads(out)
+            outs.append([row["candidate"] for row in envelope["rows"]])
+        assert outs[0] == outs[1]
+
+    def test_explore_pod_scale_rejects_exhaustive(self, capsys):
+        with pytest.raises(ValueError, match="exhaustive"):
+            run_cli(capsys, "explore", "explore_pod_scale",
+                    "--strategy", "exhaustive", "--no-cache", "--json")
+
+    def test_explore_rejects_unknown_strategy(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "explore", "explore_pod_40nm",
+                    "--strategy", "annealing")
 
 
 class TestReport:

@@ -57,9 +57,9 @@ class TestSpecCatalog:
         # Chapters 2-6 are the paper's evaluation; 7 holds the service
         # studies and 8 the design-space explorations.
         assert CATALOG.chapters() == [2, 3, 4, 5, 6, 7, 8]
-        assert len(CATALOG) == 35
+        assert len(CATALOG) == 36
         assert len(CATALOG.by_kind("study")) == 3
-        assert len(CATALOG.by_kind("explore")) == 3
+        assert len(CATALOG.by_kind("explore")) == 4
 
     def test_duplicate_registration_rejected(self):
         spec = CATALOG.get("table_4_1")
