@@ -7,7 +7,12 @@ runnable regardless of how (or whether) the package was installed.
 
 import os
 import sys
+import tempfile
 
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# Keep test-run ledger appends out of the repo's .repro/ directory; tests that
+# care about the ledger location override REPRO_LEDGER_DIR themselves.
+os.environ.setdefault("REPRO_LEDGER_DIR", tempfile.mkdtemp(prefix="repro-ledger-"))

@@ -113,26 +113,39 @@ class Explorer:
         self, candidates: "list[dict[str, object]]"
     ) -> "tuple[list[dict[str, object]], int]":
         """Metrics per candidate (enumeration order) and the cache-hit count."""
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
         merged = [{**self.fixed_params, **candidate} for candidate in candidates]
         keys = [result_key(self.token, params) for params in merged]
         metrics: "list[dict[str, object] | None]" = []
         hits = 0
-        if self.use_cache:
-            for key in keys:
-                cached = self.cache.get(key)
-                metrics.append(cached if isinstance(cached, dict) else None)
-                hits += metrics[-1] is not None
-        else:
-            metrics = [None] * len(merged)
-        missing = [i for i, value in enumerate(metrics) if value is None]
-        if missing:
-            computed = self.executor.map(
-                run_evaluator, [(self.evaluator, merged[i]) for i in missing]
-            )
-            for i, value in zip(missing, computed):
-                metrics[i] = value  # type: ignore[assignment]
+        with tracer.span(
+            "search.evaluate", category="search", candidates=len(merged)
+        ) as evaluate_span:
+            if self.use_cache:
+                with tracer.span("cache.lookup", category="cache", keys=len(keys)) as lookup_span:
+                    for key in keys:
+                        cached = self.cache.get(key, category="evaluation")
+                        metrics.append(cached if isinstance(cached, dict) else None)
+                        hits += metrics[-1] is not None
+                    lookup_span.annotate(hits=hits)
+            else:
+                metrics = [None] * len(merged)
+            missing = [i for i, value in enumerate(metrics) if value is None]
+            if missing:
+                computed = self.executor.map(
+                    run_evaluator, [(self.evaluator, merged[i]) for i in missing]
+                )
+                for i, value in zip(missing, computed):
+                    metrics[i] = value  # type: ignore[assignment]
                 if self.use_cache:
-                    self.cache.put(keys[i], value)
+                    with tracer.span("cache.store", category="cache", keys=len(missing)):
+                        for i in missing:
+                            self.cache.put(keys[i], metrics[i], category="evaluation")
+            evaluate_span.annotate(cache_hits=hits, evaluated=len(missing))
+        if tracer.enabled and hits:
+            tracer.counter("search.evaluations_saved").add(hits)
         return metrics, hits  # type: ignore[return-value]
 
     # ------------------------------------------------------------ exploration
@@ -166,31 +179,41 @@ class Explorer:
                 exhaustive strategy (use ``sample`` there).
         """
         from repro.dse.search import STRATEGIES, GeneticSearch, SuccessiveHalving
+        from repro.obs.tracer import get_tracer
 
         if strategy not in STRATEGIES:
             raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        tracer = get_tracer()
         extra_stats: "dict[str, object]" = {"strategy": strategy}
-        if strategy == "exhaustive":
-            if budget is not None:
-                raise ValueError(
-                    "budget only applies to the search strategies; use "
-                    "sample= to bound an exhaustive exploration"
+        with tracer.span(
+            "search.explore",
+            category="search",
+            strategy=strategy,
+            evaluator=self.evaluator,
+            seed=seed,
+        ) as explore_span:
+            if strategy == "exhaustive":
+                if budget is not None:
+                    raise ValueError(
+                        "budget only applies to the search strategies; use "
+                        "sample= to bound an exhaustive exploration"
+                    )
+                candidates = (
+                    self.space.sample(sample, seed)
+                    if sample is not None
+                    else self.space.enumerate()
                 )
-            candidates = (
-                self.space.sample(sample, seed)
-                if sample is not None
-                else self.space.enumerate()
-            )
-            metrics, cache_hits = self._evaluate(candidates)
-        else:
-            driver_class = GeneticSearch if strategy == "ga" else SuccessiveHalving
-            driver = driver_class(
-                self, budget=budget or DEFAULT_SEARCH_BUDGET, seed=seed
-            )
-            outcome = driver.run()
-            candidates, metrics = outcome.candidates, outcome.metrics
-            cache_hits = outcome.cache_hits
-            extra_stats.update(outcome.stats)
+                metrics, cache_hits = self._evaluate(candidates)
+            else:
+                driver_class = GeneticSearch if strategy == "ga" else SuccessiveHalving
+                driver = driver_class(
+                    self, budget=budget or DEFAULT_SEARCH_BUDGET, seed=seed
+                )
+                outcome = driver.run()
+                candidates, metrics = outcome.candidates, outcome.metrics
+                cache_hits = outcome.cache_hits
+                extra_stats.update(outcome.stats)
+            explore_span.annotate(candidates=len(candidates), cache_hits=cache_hits)
 
         rows: "list[dict[str, object]]" = []
         for candidate, metric in zip(candidates, metrics):

@@ -257,6 +257,9 @@ class GeneticSearch:
         sweeps single-axis neighborhoods of each group's knee pick until the
         picks stop moving or the budget is exhausted.
         """
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
         config = self.config
         order: "list[tuple[int, ...]]" = []  # first-evaluation order
         rows_by_genome: "dict[tuple[int, ...], dict[str, object]]" = {}
@@ -288,7 +291,11 @@ class GeneticSearch:
             min(config.population_size, ga_budget), self.seed
         )
         population = [self._genome_of(candidate) for candidate in initial]
-        evaluate(population, ga_budget)
+        with tracer.span(
+            "search.generation", category="search", generation=0, population=len(population)
+        ) as generation_span:
+            evaluate(population, ga_budget)
+            generation_span.annotate(evaluated=len(order))
 
         generations = 0
         stalled = 0
@@ -309,15 +316,22 @@ class GeneticSearch:
             pool = [genome for genome in population if genome in fitness]
             if not pool:
                 pool = list(order)
-            elites = sorted(pool, key=lambda genome: fitness[genome])[: config.elite]
-            next_population = list(elites)
-            while len(next_population) < config.population_size:
-                first = self._tournament(pool, fitness)
-                second = self._tournament(pool, fitness)
-                next_population.append(self._make_child(first, second))
-            population = next_population
-            before = len(order)
-            evaluate(population, ga_budget)
+            with tracer.span(
+                "search.generation",
+                category="search",
+                generation=generations,
+                population=config.population_size,
+            ) as generation_span:
+                elites = sorted(pool, key=lambda genome: fitness[genome])[: config.elite]
+                next_population = list(elites)
+                while len(next_population) < config.population_size:
+                    first = self._tournament(pool, fitness)
+                    second = self._tournament(pool, fitness)
+                    next_population.append(self._make_child(first, second))
+                population = next_population
+                before = len(order)
+                evaluate(population, ga_budget)
+                generation_span.annotate(evaluated=len(order) - before)
             stalled = stalled + 1 if len(order) == before else 0
 
         # Knee refinement: proxy-rank the Hamming-<=2 neighborhood of each
@@ -330,6 +344,7 @@ class GeneticSearch:
             if order
             else 1
         )
+        wave_index = 0
         while len(order) < self.budget:
             knees = self._current_knees(order, rows_by_genome)
             pool: "list[tuple[int, ...]]" = []
@@ -343,23 +358,32 @@ class GeneticSearch:
                         pool.append(neighbor)
             if not pool:
                 break
-            proxy_rows = []
-            for genome in pool:
-                candidate = self._candidate_of(genome)
-                params = {**self.explorer.fixed_params, **candidate}
-                proxy_rows.append(
-                    {**candidate, **run_proxy(self.explorer.evaluator, params, fidelity)}
+            with tracer.span(
+                "search.refine",
+                category="search",
+                wave=wave_index,
+                knees=len(knees),
+                neighborhood=len(pool),
+            ) as refine_span:
+                proxy_rows = []
+                for genome in pool:
+                    candidate = self._candidate_of(genome)
+                    params = {**self.explorer.fixed_params, **candidate}
+                    proxy_rows.append(
+                        {**candidate, **run_proxy(self.explorer.evaluator, params, fidelity)}
+                    )
+                fitness = rank_rows(
+                    proxy_rows,
+                    self.explorer.objectives,
+                    self.explorer.group_by,
+                    self.space.metric_constraints,
                 )
-            fitness = rank_rows(
-                proxy_rows,
-                self.explorer.objectives,
-                self.explorer.group_by,
-                self.space.metric_constraints,
-            )
-            ranked = sorted(range(len(pool)), key=lambda index: fitness[index])
-            wave = [pool[index] for index in ranked[: max(4, 2 * len(knees))]]
-            before = len(order)
-            evaluate(wave, self.budget)
+                ranked = sorted(range(len(pool)), key=lambda index: fitness[index])
+                wave = [pool[index] for index in ranked[: max(4, 2 * len(knees))]]
+                before = len(order)
+                evaluate(wave, self.budget)
+                refine_span.annotate(evaluated=len(order) - before)
+            wave_index += 1
             if len(order) == before:
                 break
 

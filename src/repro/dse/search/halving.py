@@ -124,6 +124,9 @@ class SuccessiveHalving:
 
     def run(self) -> SearchOutcome:
         """Screen the pool down to the budget, then fully evaluate survivors."""
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
         feasible = self.space.feasible_count()
         budget = min(self.budget, feasible)
         pool_size = self.pool_size or budget * self.eta**2
@@ -143,17 +146,28 @@ class SuccessiveHalving:
         proxy_evaluations = 0
         for rung, keep in enumerate(sizes):
             fidelity = max(1, math.ceil(fidelity_limit * (rung + 1) / len(sizes)))
-            proxy_rows = []
-            for candidate in survivors:
-                params = {**self.explorer.fixed_params, **candidate}
-                proxy_rows.append(
-                    {**candidate, **run_proxy(self.explorer.evaluator, params, fidelity)}
-                )
-            proxy_evaluations += len(survivors)
-            kept = self._select_rung(survivors, proxy_rows, keep)
-            survivors = [survivors[index] for index in kept]
+            with tracer.span(
+                "search.rung",
+                category="search",
+                rung=rung,
+                pool=len(survivors),
+                keep=keep,
+                fidelity=fidelity,
+            ):
+                proxy_rows = []
+                for candidate in survivors:
+                    params = {**self.explorer.fixed_params, **candidate}
+                    proxy_rows.append(
+                        {**candidate, **run_proxy(self.explorer.evaluator, params, fidelity)}
+                    )
+                proxy_evaluations += len(survivors)
+                kept = self._select_rung(survivors, proxy_rows, keep)
+                survivors = [survivors[index] for index in kept]
 
-        metrics, cache_hits = self.explorer._evaluate(survivors)  # noqa: SLF001
+        with tracer.span(
+            "search.promote", category="search", survivors=len(survivors)
+        ):
+            metrics, cache_hits = self.explorer._evaluate(survivors)  # noqa: SLF001
         return SearchOutcome(
             candidates=survivors,
             metrics=metrics,

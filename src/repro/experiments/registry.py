@@ -148,21 +148,36 @@ def run_experiment(
         experiment function returned (identical rows whether computed or
         served from the cache).
     """
+    from repro.obs.telemetry import telemetry_block
+    from repro.obs.tracer import get_tracer
+
     spec = CATALOG.get(experiment_id)
     merged = spec.merged_kwargs(kwargs)
     key = result_key(spec.cache_token, merged)
     cache = cache if cache is not None else DEFAULT_CACHE
 
+    tracer = get_tracer()
+    counters_before = tracer.counters() if tracer.enabled else None
     start = perf_counter()
     cache_status = "disabled"
+    compute_time_s = 0.0
     data = None
-    if use_cache:
-        data = cache.get(key)
-        cache_status = "hit" if data is not None else "miss"
-    if data is None:
-        data = spec.run(**kwargs)
+    with tracer.span(
+        f"experiment.{experiment_id}", category="experiment"
+    ) as experiment_span:
         if use_cache:
-            cache.put(key, data)
+            with tracer.span("cache.fetch", category="cache") as fetch_span:
+                data = cache.get(key, category="experiment")
+                fetch_span.annotate(hit=data is not None)
+            cache_status = "hit" if data is not None else "miss"
+        if data is None:
+            compute_start = perf_counter()
+            data = spec.run(**kwargs)
+            compute_time_s = perf_counter() - compute_start
+            if use_cache:
+                with tracer.span("cache.store", category="cache"):
+                    cache.put(key, data, category="experiment")
+        experiment_span.annotate(cache_status=cache_status)
     wall_time_s = perf_counter() - start
 
     return ExperimentResult(
@@ -175,4 +190,10 @@ def run_experiment(
         },
         wall_time_s=wall_time_s,
         cache_status=cache_status,
+        compute_time_s=compute_time_s,
+        telemetry=(
+            telemetry_block(tracer, span=experiment_span, counters_before=counters_before)
+            if tracer.enabled
+            else None
+        ),
     )

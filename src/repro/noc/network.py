@@ -176,10 +176,15 @@ class NocNetwork:
         ``Packet`` objects are materialized; the returned list only holds
         previously object-delivered packets).
         """
+        from repro.obs.tracer import get_tracer
+
         if isinstance(packets, PacketBatch):
             self.run_batch(packets)
             return self.delivered
         ordered = sorted(packets, key=lambda p: (p.injection_time, p.packet_id))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("noc.packets").add(len(ordered))
         for packet in ordered:
             self.send(packet)
         return self.delivered
@@ -192,10 +197,17 @@ class NocNetwork:
         Statistics accumulate into the same running sums :meth:`send` feeds,
         in delivery order, keeping the two paths bit-identical.
         """
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("noc.batches").add()
         if not self.use_fastpath:
             delivered_before = len(self.delivered)
             self.run(batch.to_packets())
             return _batch_result_from_packets(self.delivered[delivered_before:], batch)
+        if tracer.enabled:
+            tracer.counter("noc.packets").add(len(batch))
         result = process_batch(
             self._compiled, batch, self.config, self._next_free, self._flits_carried
         )

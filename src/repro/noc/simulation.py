@@ -218,6 +218,8 @@ class PodNocStudy:
         self, topology: NocTopology, workload: WorkloadProfile, link_width_bits: "int | None" = None
     ) -> "tuple[float, float, float, float]":
         """(request latency, all-packet latency, hops, max link utilization)."""
+        from repro.obs.tracer import get_tracer
+
         config = self.config
         if link_width_bits is not None:
             config = NocConfig(
@@ -225,6 +227,23 @@ class PodNocStudy:
                 vcs_per_port=self.config.vcs_per_port,
                 buffer_flits_per_vc=self.config.buffer_flits_per_vc,
             )
+        tracer = get_tracer()
+        engine = "fastpath" if self.use_fastpath else "reference"
+        if tracer.enabled:
+            tracer.counter(f"noc.engine.{engine}").add()
+        with tracer.span(
+            "noc.measure",
+            category="noc",
+            topology=topology.name,
+            workload=workload.name,
+            engine=engine,
+        ):
+            return self._measure_latency(topology, workload, config)
+
+    def _measure_latency(
+        self, topology: NocTopology, workload: WorkloadProfile, config: NocConfig
+    ) -> "tuple[float, float, float, float]":
+        """The measurement body of :meth:`measure_latency` (span-wrapped)."""
         network = NocNetwork(topology, config, use_fastpath=self.use_fastpath)
         if self.use_fastpath:
             # Array path: no Packet objects are ever materialized, and the

@@ -1,0 +1,65 @@
+"""Runtime observability: tracing spans, counters, trace export, run ledger.
+
+The package instruments the repo's hot layers (cache, executor, simulators,
+search, report validation) without perturbing them: the process-wide default
+tracer is a no-op whose overhead is a single attribute check, and enabling a
+real tracer only *observes* -- simulation results stay bitwise identical.
+
+Entry points:
+
+* :func:`~repro.obs.tracer.get_tracer` / :func:`~repro.obs.tracer.use_tracer`
+  -- the process-wide tracer the instrumented layers consult.
+* :func:`~repro.obs.chrome.write_chrome_trace` -- Chrome-trace/Perfetto JSON
+  (the CLI's ``--trace out.json``).
+* :func:`~repro.obs.telemetry.telemetry_block` -- the envelope ``telemetry``
+  section.
+* :mod:`repro.obs.ledger` -- the append-only per-invocation run ledger
+  behind ``python -m repro stats``.
+"""
+
+from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.counters import Counter, NullCounter
+from repro.obs.ledger import (
+    LEDGER_DIR_ENV,
+    append_record,
+    invocation_record,
+    ledger_path,
+    read_records,
+    rotate,
+    summarize,
+)
+from repro.obs.telemetry import cache_sections, counter_deltas, telemetry_block
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "LEDGER_DIR_ENV",
+    "NULL_TRACER",
+    "NullCounter",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "append_record",
+    "cache_sections",
+    "chrome_trace",
+    "counter_deltas",
+    "get_tracer",
+    "invocation_record",
+    "ledger_path",
+    "read_records",
+    "rotate",
+    "set_tracer",
+    "summarize",
+    "telemetry_block",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,136 @@
+"""Chrome-trace / Perfetto JSON export of a tracer's spans and counters.
+
+Emits the Trace Event Format consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: one ``"X"`` (complete) event per span with
+microsecond ``ts``/``dur``, one ``"C"`` (counter) event per counter total,
+and ``"M"`` metadata naming the process.  Spans produced in pool workers
+carry a ``worker`` attribute; the exporter maps each worker to its own
+``tid`` row so parallel chunks render side by side.
+
+:func:`validate_chrome_trace` is the schema check the test suite and the CI
+smoke step run against emitted files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.tracer import NullTracer, Span, Tracer
+
+#: Seconds -> Trace Event Format microseconds.
+_MICROSECONDS = 1_000_000.0
+
+#: ``pid`` stamped on every event (one traced process per file).
+_PID = 1
+
+#: ``tid`` of spans not attributed to a pool worker.
+_MAIN_TID = 1
+
+
+def _span_events(span: "Span", tid: int, events: "list[dict[str, object]]") -> None:
+    """Append the subtree's ``"X"`` events depth-first (deterministic order)."""
+    worker = span.attributes.get("worker")
+    if isinstance(worker, int):
+        tid = _MAIN_TID + 1 + worker
+    events.append(
+        {
+            "name": span.name,
+            "cat": span.category or "repro",
+            "ph": "X",
+            "ts": round(span.start_s * _MICROSECONDS, 3),
+            "dur": round(span.duration_s * _MICROSECONDS, 3),
+            "pid": _PID,
+            "tid": tid,
+            "args": {"span_id": span.span_id, **span.attributes},
+        }
+    )
+    for child in span.children:
+        _span_events(child, tid, events)
+
+
+def chrome_trace(tracer: "Tracer | NullTracer", process_name: str = "repro") -> "dict[str, object]":
+    """The tracer's spans and counters as a Trace Event Format payload.
+
+    Calls :meth:`~repro.obs.tracer.Tracer.finalize` first, so every exported
+    span carries its deterministic ``span_id`` in ``args``.
+    """
+    roots = tracer.finalize()
+    events: "list[dict[str, object]]" = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _MAIN_TID,
+            "args": {"name": process_name},
+        }
+    ]
+    for root in roots:
+        _span_events(root, _MAIN_TID, events)
+    end_ts = max(
+        (event["ts"] + event["dur"] for event in events if event["ph"] == "X"),
+        default=0.0,
+    )
+    for name, value in tracer.counters().items():
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": end_ts,
+                "pid": _PID,
+                "tid": _MAIN_TID,
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, tracer: "Tracer | NullTracer", process_name: str = "repro"
+) -> "dict[str, object]":
+    """Write the tracer's Chrome-trace JSON to ``path``; returns the payload."""
+    payload = chrome_trace(tracer, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return payload
+
+
+def validate_chrome_trace(payload: object) -> int:
+    """Schema-check a Trace Event Format payload; returns the event count.
+
+    Raises:
+        ValueError: when the payload is not a well-formed trace -- missing
+            ``traceEvents``, a non-dict event, an unknown phase, a negative
+            or non-numeric ``ts``/``dur``, or a counter without a numeric
+            value.
+    """
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    events = payload["traceEvents"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"event {index} has no name")
+        phase = event.get("ph")
+        if phase not in ("X", "C", "M"):
+            raise ValueError(f"event {index} has unsupported phase {phase!r}")
+        if phase == "M":
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"event {index} has non-integer {field!r}")
+        if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
+            raise ValueError(f"event {index} has invalid ts")
+        if phase == "X":
+            if not isinstance(event.get("dur"), (int, float)) or event["dur"] < 0:
+                raise ValueError(f"event {index} has invalid dur")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(value, (int, float)) for value in args.values()
+            ):
+                raise ValueError(f"counter event {index} needs numeric args")
+    return len(events)

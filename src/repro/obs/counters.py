@@ -1,0 +1,55 @@
+"""Monotonic counters: named, integer-valued, add-only.
+
+Counters accumulate event totals (packets delivered, cache hits, events
+processed) alongside the tracer's spans.  They are deliberately minimal:
+creation is a dict lookup on the owning tracer, and the hot-path cost of an
+increment is one attribute add -- cheap enough to leave in simulator inner
+loops behind a single ``tracer.enabled`` check.
+
+:class:`NullCounter` is the disabled-mode stand-in: a shared, stateless
+singleton whose :meth:`~NullCounter.add` does nothing, so instrumented code
+never needs a second conditional.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A named monotonic counter owned by a :class:`~repro.obs.tracer.Tracer`.
+
+    Attributes:
+        name: dotted counter name, e.g. ``"cache.evaluation.hits"``.
+        value: current total (starts at 0, only ever grows).
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = int(value)
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (monotonic: negative amounts are rejected)."""
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; cannot add {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class NullCounter:
+    """Disabled-mode counter: :meth:`add` is a no-op.
+
+    A single shared instance (:data:`NULL_COUNTER`) is handed out for every
+    counter name, so disabled-mode instrumentation allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def add(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+
+#: The shared disabled-mode counter instance.
+NULL_COUNTER = NullCounter()

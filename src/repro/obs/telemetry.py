@@ -1,0 +1,91 @@
+"""Envelope telemetry: compress one traced experiment into a JSON block.
+
+:func:`telemetry_block` condenses the tracer state around a single
+``run_experiment`` call into the ``telemetry`` entry of the
+:class:`~repro.runtime.ExperimentResult` envelope: the counter totals that
+accumulated during the run, per-category cache sections (hits, misses,
+stores, hit ratio) derived from the ``cache.<category>.<kind>`` counters,
+and the top-level phase timings (the experiment span's direct children).
+
+The block only exists when a tracer is enabled; disabled runs carry
+``telemetry=None`` and serialize without the key, keeping their envelopes
+identical to pre-telemetry output.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.obs.tracer import NullTracer, Span, Tracer
+
+#: Cache-counter kinds folded into the per-category cache sections.
+_CACHE_KINDS = ("hits", "misses", "stores")
+
+
+def counter_deltas(
+    after: "Mapping[str, int]", before: "Mapping[str, int] | None"
+) -> "dict[str, int]":
+    """Per-counter growth between two :meth:`Tracer.counters` snapshots."""
+    if not before:
+        return dict(after)
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value - before.get(name, 0)
+    }
+
+
+def cache_sections(counters: "Mapping[str, int]") -> "dict[str, dict[str, object]]":
+    """Per-category cache accounting parsed from ``cache.<category>.<kind>``.
+
+    Each section carries the raw counts plus a ``hit_ratio`` over lookups
+    (``hits / (hits + misses)``, ``None`` when the category saw no lookups).
+    """
+    sections: "dict[str, dict[str, object]]" = {}
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) != 3 or parts[0] != "cache" or parts[2] not in _CACHE_KINDS:
+            continue
+        section = sections.setdefault(
+            parts[1], {kind: 0 for kind in _CACHE_KINDS}
+        )
+        section[parts[2]] = value
+    for section in sections.values():
+        lookups = int(section["hits"]) + int(section["misses"])  # type: ignore[arg-type]
+        section["hit_ratio"] = (
+            round(int(section["hits"]) / lookups, 4) if lookups else None  # type: ignore[arg-type]
+        )
+    return dict(sorted(sections.items()))
+
+
+def telemetry_block(
+    tracer: "Tracer | NullTracer",
+    span: "Span | None" = None,
+    counters_before: "Mapping[str, int] | None" = None,
+) -> "dict[str, object] | None":
+    """The envelope's ``telemetry`` block for one traced experiment run.
+
+    Args:
+        tracer: the active tracer (``None`` is returned when it is disabled).
+        span: the experiment's own span; its direct children become the
+            ``phases`` list.
+        counters_before: counter snapshot taken before the run, so the block
+            reports this run's growth rather than process-lifetime totals.
+    """
+    if not tracer.enabled:
+        return None
+    counters = counter_deltas(tracer.counters(), counters_before)
+    phases = [
+        {
+            "name": child.name,
+            "category": child.category,
+            "duration_s": round(child.duration_s, 6),
+        }
+        for child in (span.children if span is not None else tracer.roots)
+    ]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "cache": cache_sections(counters),
+        "phases": phases,
+    }

@@ -1,0 +1,335 @@
+"""Process-pool-safe tracing: nested spans, counters, and a no-op mode.
+
+The tracer records a tree of :class:`Span` objects (name, category, start,
+duration, attributes) plus the monotonic :class:`~repro.obs.counters.Counter`
+totals accumulated while tracing.  Three properties make it safe to leave in
+the repo's hot layers permanently:
+
+* **Disabled mode is (almost) free.**  The process-wide default tracer is
+  :data:`NULL_TRACER`, whose ``enabled`` class attribute is ``False``; hot
+  loops guard their instrumentation with ``if tracer.enabled:`` (a single
+  attribute check), and the non-loop layers call the null tracer's no-op
+  ``span()``/``counter()`` directly.  Simulation results are bitwise
+  identical either way -- instrumentation only ever *observes*.
+
+* **Process pools compose.**  Worker processes start from a fresh import, so
+  their default tracer is the null tracer; traced executors explicitly build
+  a worker-local :class:`Tracer`, ship its picklable span roots and counter
+  totals back with the chunk results, and the parent re-attaches them with
+  :meth:`Tracer.adopt` in submission order -- so serial and parallel runs of
+  the same sweep produce the same trace *structure*.
+
+* **Span ids are deterministic.**  :meth:`Tracer.finalize` assigns each span
+  an id from its position in the tree (``"s0"``, ``"s0.1"``, ...), not from
+  wall-clock or arrival order, which is what makes serial==parallel trace
+  structure testable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+from repro.obs.counters import NULL_COUNTER, Counter, NullCounter
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work (picklable).
+
+    Attributes:
+        name: span name, e.g. ``"executor.chunk"`` (see the taxonomy table in
+            ``docs/observability.md``).
+        category: coarse grouping for trace viewers (``"executor"``,
+            ``"cache"``, ``"search"``, ...).
+        start_s: start time in seconds relative to the owning tracer's epoch.
+        duration_s: elapsed seconds (0 until the span closes).
+        attributes: free-form JSON-able annotations (point index, hit flag...).
+        children: spans opened while this one was the innermost active span.
+        span_id: deterministic tree-position id, assigned by
+            :meth:`Tracer.finalize` (empty until then).
+    """
+
+    name: str
+    category: str = ""
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    attributes: "dict[str, object]" = field(default_factory=dict)
+    children: "list[Span]" = field(default_factory=list)
+    span_id: str = ""
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attributes.update(attributes)
+
+    def iter(self) -> "Iterator[Span]":
+        """This span and every descendant, depth-first in child order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def shift(self, offset_s: float) -> None:
+        """Translate this subtree's start times by ``offset_s`` (adoption)."""
+        self.start_s += offset_s
+        for child in self.children:
+            child.shift(offset_s)
+
+    def structure(self, prune: "tuple[str, ...]" = ()) -> "dict[str, object]":
+        """Timing-free view of the subtree, for structural comparisons.
+
+        Args:
+            prune: attribute names to drop (e.g. backend-dependent ones like
+                ``mode`` or ``worker`` when comparing serial vs parallel runs).
+        """
+        return {
+            "name": self.name,
+            "category": self.category,
+            "attributes": {
+                key: value
+                for key, value in sorted(self.attributes.items())
+                if key not in prune
+            },
+            "children": [child.structure(prune) for child in self.children],
+        }
+
+
+class _ActiveSpan:
+    """Context manager pushing a span onto its tracer's active stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._span.start_s = self._tracer.now()
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.duration_s = self._tracer.now() - self._span.start_s
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects a span tree plus counter totals for one traced region.
+
+    The tracer keeps a stack of active spans; :meth:`span` opens a child of
+    the innermost active span (or a new root).  Spans and counters are plain
+    picklable data, so a worker-side tracer's ``roots`` and ``counters()``
+    travel back through a process pool intact.
+    """
+
+    #: Class attribute so the hot-path guard ``tracer.enabled`` is a plain
+    #: attribute load for both the real and the null tracer.
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: "list[Span]" = []
+        self._stack: "list[Span]" = []
+        self._counters: "dict[str, Counter]" = {}
+        self._epoch = perf_counter()
+
+    # ------------------------------------------------------------------ time
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return perf_counter() - self._epoch
+
+    # ----------------------------------------------------------------- spans
+    def span(self, name: str, category: str = "", **attributes: object) -> _ActiveSpan:
+        """Open a span as a context manager; yields the :class:`Span`."""
+        return _ActiveSpan(self, Span(name=name, category=category, attributes=dict(attributes)))
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def current(self) -> "Span | None":
+        """The innermost active span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    # -------------------------------------------------------------- counters
+    def counter(self, name: str) -> Counter:
+        """The named monotonic counter (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def counters(self) -> "dict[str, int]":
+        """Snapshot of every counter total, keyed by name."""
+        return {name: counter.value for name, counter in sorted(self._counters.items())}
+
+    # -------------------------------------------------------------- adoption
+    def adopt(
+        self,
+        spans: "list[Span]",
+        counters: "dict[str, int] | None" = None,
+        offset_s: "float | None" = None,
+    ) -> None:
+        """Attach worker-produced spans (and counter totals) to this tracer.
+
+        Args:
+            spans: root spans from a worker-local tracer, in point order.
+            counters: the worker tracer's :meth:`counters` snapshot; totals
+                merge additively into this tracer's counters.
+            offset_s: translation applied to the adopted spans' start times
+                (the parent-side time the chunk was handed off); defaults to
+                :meth:`now`, which preserves relative ordering even without
+                a recorded handoff time.
+        """
+        offset = self.now() if offset_s is None else offset_s
+        parent = self._stack[-1].children if self._stack else self.roots
+        for span in spans:
+            span.shift(offset)
+            parent.append(span)
+        for name, value in (counters or {}).items():
+            self.counter(name).add(value)
+
+    # ------------------------------------------------------------- finishing
+    def finalize(self) -> "list[Span]":
+        """Assign deterministic tree-position ids and return the root spans.
+
+        Ids encode the path from the root: roots are ``"s0"``, ``"s1"``, ...;
+        the second child of the first root is ``"s0.1"``.  Identical span
+        trees therefore get identical ids regardless of execution backend.
+        Safe to call repeatedly (ids are simply reassigned).
+        """
+
+        def assign(span: Span, span_id: str) -> None:
+            """Set the subtree's ids from its root's path id."""
+            span.span_id = span_id
+            for index, child in enumerate(span.children):
+                assign(child, f"{span_id}.{index}")
+
+        for index, root in enumerate(self.roots):
+            assign(root, f"s{index}")
+        return self.roots
+
+    def iter_spans(self) -> "Iterator[Span]":
+        """Every recorded span, depth-first from each root."""
+        for root in self.roots:
+            yield from root.iter()
+
+    def find_spans(self, name: "str | None" = None, category: "str | None" = None) -> "list[Span]":
+        """Spans matching a name and/or category, in deterministic DFS order."""
+        return [
+            span
+            for span in self.iter_spans()
+            if (name is None or span.name == name)
+            and (category is None or span.category == category)
+        ]
+
+
+class _NullActiveSpan:
+    """Shared no-op context manager yielding the shared no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullSpan:
+    """Stateless stand-in span whose :meth:`annotate` discards everything."""
+
+    __slots__ = ()
+    name = ""
+    category = ""
+    duration_s = 0.0
+
+    def annotate(self, **attributes: object) -> None:
+        """Discard the attributes."""
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_ACTIVE = _NullActiveSpan()
+
+
+class NullTracer:
+    """Disabled-mode tracer: every operation is a shared-singleton no-op.
+
+    ``enabled`` is ``False`` so hot loops skip their instrumentation with one
+    attribute check; the structural methods (``span``/``counter``/``adopt``)
+    still exist so non-loop call sites need no conditionals at all.
+    """
+
+    enabled = False
+
+    def span(self, name: str, category: str = "", **attributes: object) -> _NullActiveSpan:
+        """A shared no-op context manager (allocates nothing)."""
+        return _NULL_ACTIVE
+
+    def counter(self, name: str) -> NullCounter:
+        """The shared no-op counter."""
+        return NULL_COUNTER
+
+    def counters(self) -> "dict[str, int]":
+        """Always empty."""
+        return {}
+
+    def adopt(self, spans, counters=None, offset_s=None) -> None:
+        """Discard worker-produced spans and counters."""
+
+    def current(self) -> None:
+        """Always ``None``."""
+        return None
+
+    def finalize(self) -> "list[Span]":
+        """Always empty."""
+        return []
+
+    def iter_spans(self) -> "Iterator[Span]":
+        """Empty iterator."""
+        return iter(())
+
+    def find_spans(self, name: "str | None" = None, category: "str | None" = None) -> "list[Span]":
+        """Always empty."""
+        return []
+
+
+#: The process-wide disabled tracer (the default; workers start here too).
+NULL_TRACER = NullTracer()
+
+_ACTIVE_TRACER: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The process-wide active tracer (the null tracer unless one is set)."""
+    return _ACTIVE_TRACER
+
+
+def set_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Install ``tracer`` process-wide (``None`` restores the null tracer).
+
+    Returns:
+        The previously active tracer, so callers can restore it.
+    """
+    global _ACTIVE_TRACER
+    previous = _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer | None") -> "Iterator[Tracer | NullTracer]":
+    """Scoped :func:`set_tracer`: installs ``tracer``, restores on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield get_tracer()
+    finally:
+        set_tracer(previous)

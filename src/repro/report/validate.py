@@ -238,6 +238,9 @@ class ReportValidator:
             A :class:`ValidationRun`; claim order follows the registry, and
             grades are independent of the executor backend.
         """
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
         claims = select_claims(self.catalog, only)
         # One job per distinct (experiment, parameters) pair, in first-use order.
         jobs: "dict[str, tuple[str, dict[str, object], list[PaperClaim]]]" = {}
@@ -250,53 +253,67 @@ class ReportValidator:
                 jobs[key] = (claim.experiment_id, overrides, [])
             jobs[key][2].append(claim)
 
-        envelopes: "dict[str, dict[str, object]]" = {}
-        checks: "list[ExperimentCheck]" = []
-        pending: "list[tuple[str, str, dict[str, object]]]" = []
-        for key, (experiment_id, overrides, job_claims) in jobs.items():
-            data = self.cache.get(key) if self.use_cache else None
-            if data is not None:
-                envelopes[key] = {"data": data, "cache_status": "hit", "wall_time_s": 0.0}
-            else:
-                pending.append((key, experiment_id, overrides))
-        computed = self.executor.map(
-            _evaluate_job,
-            [
-                (self.catalog.get(experiment_id), overrides)
-                for _, experiment_id, overrides in pending
-            ],
-        )
-        for (key, _, _), outcome in zip(pending, computed):
-            status = "miss" if self.use_cache else "disabled"
-            if self.use_cache:
-                self.cache.put(key, outcome["data"])
-            envelopes[key] = {
-                "data": outcome["data"],
-                "cache_status": status,
-                "wall_time_s": outcome["wall_time_s"],
-            }
-
-        run = ValidationRun()
-        for key, (experiment_id, _, job_claims) in jobs.items():
-            spec = self.catalog.get(experiment_id)
-            outcome = envelopes[key]
-            view = _result_view(outcome["data"])
-            checks.append(
-                ExperimentCheck(
-                    experiment_id=experiment_id,
-                    chapter=spec.chapter,
-                    cache_status=str(outcome["cache_status"]),
-                    wall_time_s=float(outcome["wall_time_s"]),  # type: ignore[arg-type]
-                    claim_ids=tuple(claim.claim_id for claim in job_claims),
-                )
+        with tracer.span(
+            "report.validate", category="report", claims=len(claims), jobs=len(jobs)
+        ) as validate_span:
+            envelopes: "dict[str, dict[str, object]]" = {}
+            checks: "list[ExperimentCheck]" = []
+            pending: "list[tuple[str, str, dict[str, object]]]" = []
+            for key, (experiment_id, overrides, job_claims) in jobs.items():
+                data = self.cache.get(key, category="report") if self.use_cache else None
+                if data is not None:
+                    envelopes[key] = {"data": data, "cache_status": "hit", "wall_time_s": 0.0}
+                else:
+                    pending.append((key, experiment_id, overrides))
+            computed = self.executor.map(
+                _evaluate_job,
+                [
+                    (self.catalog.get(experiment_id), overrides)
+                    for _, experiment_id, overrides in pending
+                ],
             )
-            for claim in job_claims:
-                run.graded.append(grade_claim(claim, view))
-                run.chapters[claim.claim_id] = spec.chapter
-        # Report claims in registry order regardless of job completion order.
-        order = {claim.claim_id: index for index, claim in enumerate(claims)}
-        run.graded.sort(key=lambda item: order[item.claim.claim_id])
-        run.experiments = checks
+            for (key, _, _), outcome in zip(pending, computed):
+                status = "miss" if self.use_cache else "disabled"
+                if self.use_cache:
+                    self.cache.put(key, outcome["data"], category="report")
+                envelopes[key] = {
+                    "data": outcome["data"],
+                    "cache_status": status,
+                    "wall_time_s": outcome["wall_time_s"],
+                }
+
+            run = ValidationRun()
+            for key, (experiment_id, _, job_claims) in jobs.items():
+                spec = self.catalog.get(experiment_id)
+                outcome = envelopes[key]
+                view = _result_view(outcome["data"])
+                checks.append(
+                    ExperimentCheck(
+                        experiment_id=experiment_id,
+                        chapter=spec.chapter,
+                        cache_status=str(outcome["cache_status"]),
+                        wall_time_s=float(outcome["wall_time_s"]),  # type: ignore[arg-type]
+                        claim_ids=tuple(claim.claim_id for claim in job_claims),
+                    )
+                )
+                for claim in job_claims:
+                    with tracer.span(
+                        "report.claim",
+                        category="report",
+                        claim=claim.claim_id,
+                        experiment=experiment_id,
+                    ) as claim_span:
+                        graded = grade_claim(claim, view)
+                        claim_span.annotate(grade=graded.grade.value)
+                    run.graded.append(graded)
+                    run.chapters[claim.claim_id] = spec.chapter
+            # Report claims in registry order regardless of job completion order.
+            order = {claim.claim_id: index for index, claim in enumerate(claims)}
+            run.graded.sort(key=lambda item: order[item.claim.claim_id])
+            run.experiments = checks
+            validate_span.annotate(
+                computed=len(pending), cached=len(jobs) - len(pending)
+            )
         return run
 
 

@@ -108,13 +108,53 @@ def evaluation_overrides(
 
 
 class ResultCache:
-    """Two-tier (memory, optional disk) store of experiment payloads by key."""
+    """Two-tier (memory, optional disk) store of experiment payloads by key.
+
+    Every lookup and store is counted -- per cache and per *category* (the
+    caller's tier: ``"experiment"`` envelopes, ``"evaluation"`` candidates,
+    ``"report"`` jobs) -- and exposed through :meth:`stats` even without a
+    tracer attached.  When a tracer is enabled the same counts also feed its
+    ``cache.<category>.<kind>`` counters, which is what the envelope's
+    telemetry block reports.
+    """
+
+    #: Category recorded when the caller does not name one.
+    DEFAULT_CATEGORY = "result"
 
     def __init__(self, cache_dir: "str | None" = None):
         self._memory: "dict[str, object]" = {}
         self.cache_dir = cache_dir
+        self._stats: "dict[str, int]" = {
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0, "bytes_stored": 0,
+        }
+        self._category_stats: "dict[str, dict[str, int]]" = {}
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
+
+    def _count(self, kind: str, category: "str | None", amount: int = 1) -> None:
+        """Record ``amount`` events of ``kind`` against ``category``."""
+        from repro.obs.tracer import get_tracer
+
+        category = category or self.DEFAULT_CATEGORY
+        self._stats[kind] += amount
+        per_category = self._category_stats.setdefault(
+            category, {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+        )
+        if kind in per_category:
+            per_category[kind] += amount
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter(f"cache.{category}.{kind}").add(amount)
+
+    def stats(self) -> "dict[str, object]":
+        """Lifetime accounting: hits/misses/stores/evictions (+ per category).
+
+        Available with or without a tracer; ``repro explore --json`` lifts
+        this into its envelope as ``cache_stats``.
+        """
+        return {**self._stats, "categories": {
+            name: dict(values) for name, values in sorted(self._category_stats.items())
+        }}
 
     @classmethod
     def from_env(cls) -> "ResultCache":
@@ -122,15 +162,24 @@ class ResultCache:
         return cls(cache_dir=os.environ.get(CACHE_DIR_ENV) or None)
 
     # ------------------------------------------------------------------ lookup
-    def get(self, key: str) -> object:
-        """The cached payload for ``key`` (a deep copy), or ``None``."""
+    def get(self, key: str, category: "str | None" = None) -> object:
+        """The cached payload for ``key`` (a deep copy), or ``None``.
+
+        Args:
+            key: content address from :func:`result_key`.
+            category: accounting bucket for :meth:`stats` and the tracer's
+                ``cache.<category>.*`` counters.
+        """
         if key in self._memory:
+            self._count("hits", category)
             return copy.deepcopy(self._memory[key])
         if self.cache_dir:
             payload = self._read_disk(key)
             if payload is not None:
                 self._memory[key] = payload
+                self._count("hits", category)
                 return copy.deepcopy(payload)
+        self._count("misses", category)
         return None
 
     def __contains__(self, key: str) -> bool:
@@ -139,20 +188,32 @@ class ResultCache:
         )
 
     # ------------------------------------------------------------------- store
-    def put(self, key: str, payload: object) -> None:
-        """Store ``payload`` under ``key`` in every tier."""
+    def put(self, key: str, payload: object, category: "str | None" = None) -> None:
+        """Store ``payload`` under ``key`` in every tier.
+
+        Args:
+            key: content address from :func:`result_key`.
+            payload: value to memoize (deep-copied on the way in).
+            category: accounting bucket (see :meth:`get`).
+        """
         payload = copy.deepcopy(payload)
         self._memory[key] = payload
+        self._count("stores", category)
         if self.cache_dir:
-            self._write_disk(key, payload)
+            written = self._write_disk(key, payload)
+            self._stats["bytes_stored"] += written
 
     def clear(self) -> None:
         """Drop the in-memory tier and delete any on-disk entries."""
+        evicted = len(self._memory)
         self._memory.clear()
         if self.cache_dir and os.path.isdir(self.cache_dir):
             for name in os.listdir(self.cache_dir):
                 if name.endswith((".json", ".pkl")):
                     os.unlink(os.path.join(self.cache_dir, name))
+                    evicted += 1
+        if evicted:
+            self._count("evictions", None, evicted)
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -179,12 +240,14 @@ class ResultCache:
                 return None
         return None
 
-    def _write_disk(self, key: str, payload: object) -> None:
+    def _write_disk(self, key: str, payload: object) -> int:
         try:
             text = json.dumps({"payload": payload})
         except (TypeError, ValueError):
+            blob = pickle.dumps(payload)
             with open(self._path(key, ".pkl"), "wb") as handle:
-                pickle.dump(payload, handle)
-            return
+                handle.write(blob)
+            return len(blob)
         with open(self._path(key, ".json"), "w", encoding="utf-8") as handle:
             handle.write(text)
+        return len(text.encode("utf-8"))

@@ -9,12 +9,16 @@ Subcommands:
 * ``bench`` -- time every (or selected) experiment with caching off.
 * ``report`` -- grade every registered paper claim and render the
   reproduction report (exit code 1 if any claim grades ``fail``).
+* ``stats`` -- summarize the append-only run ledger (one record per
+  ``run``/``sweep``/``explore``/``report``/``bench`` invocation).
 
 ``run`` and ``sweep`` accept repeated ``--set key=value`` overrides (values are
 parsed as Python literals when possible); ``sweep`` splits comma-separated
 values into sweep axes.  Results flow through the shared result cache; pass
 ``--cache-dir`` to persist them across invocations or ``--no-cache`` to
-disable caching entirely.
+disable caching entirely.  Every running subcommand accepts
+``--trace out.json`` to record a Chrome-trace/Perfetto span timeline of the
+invocation (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -93,7 +97,23 @@ def _cache_for(args: argparse.Namespace) -> "ResultCache | None":
     return None
 
 
-def _run_one(experiment_id: str, args: argparse.Namespace, **extra: object):
+#: Per-invocation run log the ledger record is built from; ``main`` installs a
+#: list here so ``_run_one`` (and the report command) can contribute entries.
+_RUN_LOG: "list[dict[str, object]] | None" = None
+
+
+def _log_run(entry: "dict[str, object]") -> None:
+    """Record one experiment run for this invocation's ledger record."""
+    if _RUN_LOG is not None:
+        _RUN_LOG.append(entry)
+
+
+def _run_one(
+    experiment_id: str,
+    args: argparse.Namespace,
+    cache: "ResultCache | None" = None,
+    **extra: object,
+):
     from repro.experiments.registry import CATALOG, run_experiment
 
     overrides = dict(_parse_overrides(getattr(args, "set", []) or []))
@@ -105,16 +125,30 @@ def _run_one(experiment_id: str, args: argparse.Namespace, **extra: object):
     # Cache-aware experiments (the explore studies) memoize their internal
     # model evaluations too; forward the cache flags so --no-cache really
     # recomputes and --cache-dir persists evaluations across processes.
-    cache = _cache_for(args)
+    cache = cache if cache is not None else _cache_for(args)
     use_cache = not getattr(args, "no_cache", False)
     for name, value in evaluation_overrides(function, use_cache, cache).items():
         overrides.setdefault(name, value)
-    return run_experiment(
+    result = run_experiment(
         experiment_id,
         use_cache=not getattr(args, "no_cache", False),
         cache=cache,
         **overrides,
     )
+    entry: "dict[str, object]" = {
+        "experiment": result.experiment_id,
+        "cache_status": result.cache_status,
+        "wall_time_s": round(result.wall_time_s, 6),
+        "compute_time_s": round(result.compute_time_s, 6),
+        "rows": len(result.rows),
+    }
+    stats = result.data.get("stats") if isinstance(result.data, dict) else None
+    if isinstance(stats, dict) and "cache_hits" in stats:
+        entry["strategy"] = stats.get("strategy")
+        entry["cache_hits"] = stats.get("cache_hits")
+        entry["evaluated"] = stats.get("evaluated")
+    _log_run(entry)
+    return result
 
 
 def _envelope(result) -> "dict[str, object]":
@@ -128,13 +162,32 @@ def _envelope(result) -> "dict[str, object]":
         "rows": result.rows,
         "provenance": result.provenance,
         "wall_time_s": round(result.wall_time_s, 6),
+        "compute_time_s": round(result.compute_time_s, 6),
         "cache_status": result.cache_status,
     }
+    if result.telemetry is not None:
+        # Present only under --trace, so untraced envelopes keep their shape.
+        payload["telemetry"] = result.telemetry
     if isinstance(result.data, dict):
         # Dict-returning experiments (figure_3_5) carry headline values beyond
         # the sweep rows; keep the full payload machine-readable.
         payload["data"] = result.data
     return payload
+
+
+def _evaluation_cache_stats(cache: "ResultCache | None") -> "dict[str, object]":
+    """Accounting of the cache the exploration's evaluations went through.
+
+    With ``--cache-dir`` the forwarded disk cache holds both the envelope and
+    the evaluation tiers (distinguished by the ``categories`` breakdown);
+    otherwise candidate evaluations land in the explorer's process-wide
+    default cache.
+    """
+    if cache is not None and cache.cache_dir:
+        return cache.stats()
+    from repro.dse.explorer import DEFAULT_EVALUATION_CACHE
+
+    return DEFAULT_EVALUATION_CACHE.stats()
 
 
 # ------------------------------------------------------------------ commands
@@ -222,7 +275,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         for name in ("strategy", "budget", "seed")
         if (value := getattr(args, name, None)) is not None
     }
-    result = _run_one(args.id, args, **search_overrides)
+    cache = _cache_for(args)
+    result = _run_one(args.id, args, cache=cache, **search_overrides)
     payload = result.data if isinstance(result.data, dict) else {}
     if args.json:
         envelope = _envelope(result)
@@ -231,6 +285,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         envelope["frontier"] = payload.get("frontier", [])
         envelope["knees"] = payload.get("knees", {})
         envelope["stats"] = payload.get("stats", {})
+        envelope["cache_stats"] = _evaluation_cache_stats(cache)
         print(json.dumps(envelope))
         return 0
     candidates = payload.get("candidates", [])
@@ -277,6 +332,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not run.graded:
         print("no claims selected", file=sys.stderr)
         return 1
+    for check in run.experiments:
+        _log_run(
+            {
+                "experiment": check.experiment_id,
+                "cache_status": check.cache_status,
+                "wall_time_s": round(check.wall_time_s, 6),
+                "compute_time_s": round(
+                    0.0 if check.cache_status == "hit" else check.wall_time_s, 6
+                ),
+                "rows": len(check.claim_ids),
+            }
+        )
     if args.out:
         parent = os.path.dirname(args.out)
         if parent:
@@ -302,6 +369,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(render_svg(chapter, items))
     return 0 if run.ok else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize the run ledger (invocations, per-experiment costs, hit ratios)."""
+    from repro.experiments.formatting import format_table
+    from repro.obs.ledger import ledger_path, read_records, summarize
+
+    path = ledger_path(args.ledger)
+    records = read_records(path, last=args.last, experiment=args.experiment)
+    if not records:
+        print(f"no ledger records at {path}", file=sys.stderr)
+        return 1
+    summary = summarize(records)
+    if args.json:
+        print(json.dumps({"ledger": str(path), **summary}))
+        return 0
+    rows = [
+        {
+            "experiment": row["experiment"],
+            "runs": row["invocations"],
+            "wall_s": row["wall_time_s"],
+            "mean_wall_s": row["mean_wall_s"],
+            "hit_ratio": "-" if row["cache_hit_ratio"] is None else row["cache_hit_ratio"],
+            "last_utc": row["last_utc"],
+        }
+        for row in summary["experiments"]
+    ]
+    print(format_table(rows, title=f"{summary['invocations']} ledger records ({path})"))
+    commands = ", ".join(
+        f"{name}={count}" for name, count in summary["commands"].items()
+    )
+    print(f"# invocations by command: {commands}")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -387,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="force the serial sweep executor")
         p.add_argument("--workers", type=int, default=None, help="process-pool size")
         p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome-trace (Perfetto-loadable) JSON of "
+                            "this invocation's spans and counters to PATH")
 
     def add_run_flags(p: argparse.ArgumentParser) -> None:
         """Attach the flags shared by run/sweep/explore/bench to ``p``."""
@@ -442,14 +545,77 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_stats = sub.add_parser("stats", help="summarize the run ledger")
+    p_stats.add_argument("--last", type=int, default=None, metavar="N",
+                         help="only the most recent N ledger records")
+    p_stats.add_argument("--experiment", default=None, metavar="ID",
+                         help="only records touching this experiment id")
+    p_stats.add_argument("--ledger", default=None, metavar="DIR",
+                         help="ledger directory (default: .repro, or REPRO_LEDGER_DIR)")
+    p_stats.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p_stats.set_defaults(func=_cmd_stats)
+
     return parser
 
 
+#: Subcommands whose invocations are appended to the run ledger.
+_LEDGER_COMMANDS = ("run", "sweep", "explore", "report", "bench")
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Besides dispatching to the subcommand, this installs the invocation-wide
+    telemetry plumbing: a :class:`~repro.obs.Tracer` rooted at a
+    ``cli.<command>`` span when ``--trace PATH`` was given (written as
+    Chrome-trace JSON on success), and a run log whose entries become one
+    appended ledger record per run/sweep/explore/report/bench invocation.
+    """
+    global _RUN_LOG
     args = build_parser().parse_args(argv)
+
+    trace_path = getattr(args, "trace", None)
+    tracer = None
+    previous_tracer = None
+    if trace_path:
+        from repro.obs.tracer import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous_tracer = set_tracer(tracer)
+
+    runs: "list[dict[str, object]]" = []
+    saved_log, _RUN_LOG = _RUN_LOG, runs
     try:
-        return args.func(args)
+        if tracer is not None:
+            with tracer.span(f"cli.{args.command}", category="cli"):
+                status = args.func(args)
+        else:
+            status = args.func(args)
     except UnknownExperimentError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    finally:
+        _RUN_LOG = saved_log
+        if tracer is not None:
+            from repro.obs.tracer import set_tracer
+
+            set_tracer(previous_tracer)
+
+    if tracer is not None:
+        from repro.obs.chrome import write_chrome_trace
+
+        write_chrome_trace(trace_path, tracer)
+        print(f"# trace written to {trace_path}", file=sys.stderr)
+
+    if runs and args.command in _LEDGER_COMMANDS:
+        from repro.obs.ledger import append_record, invocation_record
+
+        record = invocation_record(
+            args.command,
+            runs,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            strategy=getattr(args, "strategy", None),
+        )
+        append_record(record)
+
+    return status

@@ -38,9 +38,42 @@ _MODES = ("auto", "serial", "process")
 _CHUNKS_PER_WORKER = 4
 
 
-def _run_chunk(fn: "Callable[..., object]", chunk: "list[tuple]") -> "list[object]":
-    """Run one chunk of sweep points in a worker (module-level: picklable)."""
-    return [fn(*args) for args in chunk]
+def _run_chunk(
+    fn: "Callable[..., object]",
+    chunk: "list[tuple]",
+    trace: bool = False,
+    first_index: int = 0,
+    chunk_index: int = 0,
+) -> "list[object] | tuple[list[object], list, dict[str, int]]":
+    """Run one chunk of sweep points in a worker (module-level: picklable).
+
+    With ``trace=True`` the chunk runs under a fresh chunk-local
+    :class:`~repro.obs.tracer.Tracer` -- one ``executor.chunk`` span wrapping
+    one ``executor.point`` span per point -- and returns
+    ``(results, span_roots, counter_totals)`` for the parent to
+    :meth:`~repro.obs.tracer.Tracer.adopt`.  The traced serial path runs this
+    same function inline, so serial and parallel traces share one structure.
+    """
+    if not trace:
+        return [fn(*args) for args in chunk]
+    from repro.obs.tracer import Tracer, use_tracer
+
+    tracer = Tracer()
+    results: "list[object]" = []
+    with use_tracer(tracer):
+        with tracer.span(
+            "executor.chunk",
+            category="executor",
+            index=chunk_index,
+            first_point=first_index,
+            points=len(chunk),
+        ):
+            for offset, args in enumerate(chunk):
+                with tracer.span(
+                    "executor.point", category="executor", index=first_index + offset
+                ):
+                    results.append(fn(*args))
+    return results, tracer.roots, tracer.counters()
 
 
 class SweepExecutor:
@@ -108,6 +141,11 @@ class SweepExecutor:
         arglists: "list[tuple]" = [
             point if isinstance(point, tuple) else (point,) for point in points
         ]
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            return self._map_traced(fn, arglists, tracer)
         if self.resolved_mode(len(arglists)) == "serial":
             return [fn(*args) for args in arglists]
         workers = self._pool_size(len(arglists))
@@ -117,11 +155,7 @@ class SweepExecutor:
             # No usable multiprocessing primitives in this environment; point
             # failures inside a working pool still propagate normally.
             return [fn(*args) for args in arglists]
-        chunksize = self.chunksize
-        if chunksize is None:
-            chunksize = max(
-                1, -(-len(arglists) // (workers * _CHUNKS_PER_WORKER))
-            )  # ceil division
+        chunksize = self._chunksize_for(len(arglists), workers)
         chunks = [
             arglists[start : start + chunksize]
             for start in range(0, len(arglists), chunksize)
@@ -132,6 +166,68 @@ class SweepExecutor:
             for future in futures:
                 results.extend(future.result())
             return results
+
+    def _chunksize_for(self, num_points: int, workers: int) -> int:
+        """The chunk length used for ``num_points`` across ``workers``."""
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, -(-num_points // (workers * _CHUNKS_PER_WORKER)))  # ceil division
+
+    def _map_traced(
+        self, fn: "Callable[..., object]", arglists: "list[tuple]", tracer
+    ) -> "list[object]":
+        """Traced fan-out: one ``executor.map`` span over per-chunk/point spans.
+
+        Both backends compute the same chunk plan and run the same traced
+        :func:`_run_chunk` body (inline when serial, in workers when
+        parallel), and worker span trees are adopted in submission (point
+        index) order -- never arrival order -- so the trace *structure* is
+        identical whichever backend ran the sweep.
+        """
+        mode = self.resolved_mode(len(arglists))
+        workers = self._pool_size(len(arglists))
+        chunksize = self._chunksize_for(len(arglists), workers)
+        chunks = [
+            arglists[start : start + chunksize]
+            for start in range(0, len(arglists), chunksize)
+        ]
+        results: "list[object]" = []
+        with tracer.span(
+            "executor.map",
+            category="executor",
+            points=len(arglists),
+            chunks=len(chunks),
+            chunksize=chunksize,
+            mode=mode,
+        ) as map_span:
+            pool = None
+            if mode == "process":
+                try:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                except (OSError, PermissionError):
+                    map_span.annotate(mode="serial-fallback")
+            if pool is not None:
+                with pool:
+                    handoff = tracer.now()
+                    futures = [
+                        pool.submit(_run_chunk, fn, chunk, True, index * chunksize, index)
+                        for index, chunk in enumerate(chunks)
+                    ]
+                    for index, future in enumerate(futures):
+                        chunk_results, spans, counters = future.result()
+                        for span in spans:
+                            span.attributes.setdefault("worker", index)
+                        tracer.adopt(spans, counters, offset_s=handoff)
+                        results.extend(chunk_results)
+                return results
+            for index, chunk in enumerate(chunks):
+                handoff = tracer.now()
+                chunk_results, spans, counters = _run_chunk(
+                    fn, chunk, True, index * chunksize, index
+                )
+                tracer.adopt(spans, counters, offset_s=handoff)
+                results.extend(chunk_results)
+        return results
 
 
 #: Serial executor for cheap analytic sweeps where a pool never pays off.

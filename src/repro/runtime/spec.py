@@ -84,9 +84,17 @@ class ExperimentResult:
         data: raw return value of the experiment function (usually a list of
             row dicts; ``figure_3_5`` returns a dict with a ``"sweep"`` key).
         provenance: how the data was produced (function, kwargs, cache key).
-        wall_time_s: wall-clock seconds spent producing (or fetching) the data.
+        wall_time_s: wall-clock seconds spent producing (or fetching) the data,
+            including cache traffic (kept for backward compatibility).
         cache_status: ``"miss"`` (computed and stored), ``"hit"`` (served from
             the cache), or ``"disabled"`` (computed with caching off).
+        compute_time_s: seconds spent inside the experiment function itself
+            (0 for cache hits); ``wall_time_s - compute_time_s`` is the cache
+            fetch/store overhead.
+        telemetry: counter totals, per-category cache accounting, and phase
+            timings for this run (see :mod:`repro.obs.telemetry`); ``None``
+            unless a tracer was enabled, so untraced envelopes serialize
+            exactly as they did before telemetry existed.
     """
 
     experiment_id: str
@@ -94,6 +102,8 @@ class ExperimentResult:
     provenance: "dict[str, object]" = field(default_factory=dict)
     wall_time_s: float = 0.0
     cache_status: str = "disabled"
+    compute_time_s: float = 0.0
+    telemetry: "dict[str, object] | None" = None
 
     @property
     def rows(self) -> "list[dict[str, object]]":

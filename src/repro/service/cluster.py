@@ -177,11 +177,26 @@ class ClusterSimulation:
 
     def run(self, num_requests: int = 5_000) -> ClusterResult:
         """Simulate ``num_requests`` requests to completion."""
+        from repro.obs.tracer import get_tracer
+
         if num_requests < 1:
             raise ValueError("num_requests must be >= 1")
-        if self.resolved_engine() == "fast":
-            return self._run_fast(num_requests)
-        return self._run_event(num_requests)
+        engine = self.resolved_engine()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter(f"service.engine.{engine}").add()
+            tracer.counter("service.requests").add(num_requests)
+        with tracer.span(
+            "service.cluster",
+            category="service",
+            policy=self.config.policy,
+            engine=engine,
+            requests=num_requests,
+            servers=self.config.num_servers,
+        ):
+            if engine == "fast":
+                return self._run_fast(num_requests)
+            return self._run_event(num_requests)
 
     # ------------------------------------------------------------ event engine
     def _run_event(self, num_requests: int) -> ClusterResult:
@@ -206,6 +221,11 @@ class ClusterSimulation:
                 ].offer(request),
             )
         engine.run()
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.counter("service.events").add(engine.processed)
 
         duration = engine.now
         utilizations = [server.utilization(duration) for server in servers]

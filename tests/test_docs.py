@@ -72,7 +72,7 @@ def test_running_doc_lists_every_cli_command():
     from repro.runtime.cli import build_parser
 
     text = (REPO / "docs" / "running.md").read_text(encoding="utf-8")
-    subcommands = {"list", "run", "sweep", "explore", "bench", "report"}
+    subcommands = {"list", "run", "sweep", "explore", "bench", "report", "stats"}
     # Keep this set in sync with the parser itself.
     parser_commands = set()
     for action in build_parser()._subparsers._group_actions:  # noqa: SLF001

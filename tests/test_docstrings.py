@@ -15,6 +15,7 @@ from check_docstrings import audit_file, iter_python_files, main  # noqa: E402
 #: Public entry points held to 100% docstring coverage.
 ENFORCED = [
     REPO / "src" / "repro" / "runtime",
+    REPO / "src" / "repro" / "obs",
     REPO / "src" / "repro" / "dse",
     REPO / "src" / "repro" / "report",
     REPO / "src" / "repro" / "service" / "cluster.py",
