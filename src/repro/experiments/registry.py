@@ -20,6 +20,7 @@ from typing import Callable
 
 from repro.dse import studies as dse_studies
 from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6, service
+from repro.experiments import faults as fault_studies
 from repro.runtime import (
     ExperimentResult,
     ExperimentSpec,
@@ -52,6 +53,9 @@ SERVICE_CHAPTER = 7
 #: Chapter number used for design-space explorations (``kind="explore"``).
 DSE_CHAPTER = 8
 
+#: Chapter number used for fault-injection / dependability studies.
+FAULTS_CHAPTER = 9
+
 
 def _study(
     experiment_id: str, function: "Callable[..., object]", produces: str
@@ -72,6 +76,18 @@ def _explore(
         experiment_id=experiment_id,
         chapter=DSE_CHAPTER,
         kind="explore",
+        function=function,
+        produces=produces,
+    )
+
+
+def _fault_study(
+    experiment_id: str, function: "Callable[..., object]", produces: str
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        chapter=FAULTS_CHAPTER,
+        kind="study",
         function=function,
         produces=produces,
     )
@@ -117,6 +133,10 @@ CATALOG = SpecCatalog(
         _explore("explore_scaling_20nm", dse_studies.explore_scaling_20nm, "Pod design space across 40nm/20nm; frontier shift under scaling"),
         _explore("explore_sla_sizing", dse_studies.explore_sla_sizing, "SLA-constrained sizing: monthly TCO vs achieved p99 frontier"),
         _explore("explore_pod_scale", dse_studies.explore_pod_scale, "~111k-candidate pod space, search strategies only (GA default)"),
+        _fault_study("fault_service_sweep", fault_studies.service_fault_sweep, "Availability/goodput/p99 of a service cluster vs server crash intensity"),
+        _fault_study("fault_mttr_sensitivity", fault_studies.service_mttr_sweep, "Dependability vs repair time (MTTR) at fixed crash intensity"),
+        _fault_study("fault_nk_sizing", fault_studies.service_nk_sizing, "N+k redundancy sizing: TCO and cluster availability vs tolerated failures"),
+        _fault_study("fault_noc_links", fault_studies.noc_fault_sweep, "NoC latency and system IPC as links fail and traffic reroutes"),
     ]
 )
 
@@ -180,14 +200,24 @@ def run_experiment(
         experiment_span.annotate(cache_status=cache_status)
     wall_time_s = perf_counter() - start
 
+    provenance: "dict[str, object]" = {
+        "function": spec.cache_token,
+        "cache_key": key,
+        "kwargs": {name: repr(value) for name, value in sorted(merged.items())},
+    }
+    # Faulted studies pin their fault load: the generator seed plus a SHA-256
+    # digest of every schedule, so any faulted run is reproducible from its
+    # envelope (and the ledger record built from it).
+    if isinstance(data, dict):
+        faults_info = data.get("faults")
+        if isinstance(faults_info, dict) and "digest" in faults_info:
+            provenance["fault_seed"] = faults_info.get("seed")
+            provenance["fault_schedule_digest"] = faults_info["digest"]
+
     return ExperimentResult(
         experiment_id=experiment_id,
         data=data,
-        provenance={
-            "function": spec.cache_token,
-            "cache_key": key,
-            "kwargs": {name: repr(value) for name, value in sorted(merged.items())},
-        },
+        provenance=provenance,
         wall_time_s=wall_time_s,
         cache_status=cache_status,
         compute_time_s=compute_time_s,

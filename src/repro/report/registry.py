@@ -3,11 +3,13 @@
 Chapters 2-6 claims pin the reproduction to statements the Scale-Out
 Processors paper makes about its figures and tables -- published speedups,
 the selected pod configuration, qualitative orderings between designs.
-Chapters 7-8 cover the repo's beyond-paper studies (service simulation,
-design-space exploration); their claims attest internal consistency with the
-paper's conclusions -- e.g. that the exploration's knee points are exactly the
-paper's chosen Scale-Out designs (the check that used to live in
-``explore_pod_40nm``'s ad-hoc ``paper_designs`` payload).
+Chapters 7-9 cover the repo's beyond-paper studies (service simulation,
+design-space exploration, fault injection); their claims attest internal
+consistency with the paper's conclusions -- e.g. that the exploration's knee
+points are exactly the paper's chosen Scale-Out designs (the check that used
+to live in ``explore_pod_40nm``'s ad-hoc ``paper_designs`` payload), or that
+the dependability studies respond to fault load in the physically required
+direction (crashes cut availability, redundancy buys it back).
 
 :func:`register_claims` wires the registry into a
 :class:`~repro.runtime.SpecCatalog` so specs carry their claims;
@@ -241,6 +243,66 @@ PAPER_CLAIMS: "tuple[PaperClaim, ...]" = (
         "ch8-sla-frontier-feasible", "explore_sla_sizing", "Study: SLA sizing",
         "Every frontier deployment meets the p99 service-level objective",
         "rows[on_frontier=True].p99_ms:max", "<=", rhs_metric="data.sla_p99_ms",
+    ),
+    # ------------------------------------------- chapter 9 (beyond paper)
+    _relation(
+        "ch9-zero-fault-full-availability", "fault_service_sweep", "Study: fault sweep",
+        "The zero-intensity point runs the un-faulted engine at full availability",
+        "rows[crash_intensity=0.0].availability", "==", expected=1.0,
+    ),
+    _relation(
+        "ch9-crashes-cut-availability", "fault_service_sweep", "Study: fault sweep",
+        "Raising the crash intensity lowers cluster availability",
+        "rows[crash_intensity=4.0].availability", "<",
+        rhs_metric="rows[crash_intensity=0.0].availability",
+    ),
+    _relation(
+        "ch9-crashes-cut-goodput", "fault_service_sweep", "Study: fault sweep",
+        "Crashes lose queued and in-flight requests, cutting the goodput fraction",
+        "rows[crash_intensity=4.0].goodput_fraction", "<",
+        rhs_metric="rows[crash_intensity=0.0].goodput_fraction",
+    ),
+    _relation(
+        "ch9-mttr-hurts-availability", "fault_mttr_sensitivity", "Study: MTTR sensitivity",
+        "Slower repairs accumulate more downtime per crash, lowering availability",
+        "rows[mttr_fraction=0.4].availability", "<",
+        rhs_metric="rows[mttr_fraction=0.02].availability",
+    ),
+    _relation(
+        "ch9-mttr-slows-recovery", "fault_mttr_sensitivity", "Study: MTTR sensitivity",
+        "Mean time to recover grows with the repair time",
+        "rows[mttr_fraction=0.4].mean_time_to_recover_ms", ">",
+        rhs_metric="rows[mttr_fraction=0.02].mean_time_to_recover_ms",
+    ),
+    _relation(
+        "ch9-nk-zero-reduces", "fault_nk_sizing", "Study: N+k sizing",
+        "k = 0 reduces N+k sizing to the base SLA sizing answer exactly",
+        "rows[design=Scale-Out (OoO),k=0].servers", "==",
+        rhs_metric="rows[design=Scale-Out (OoO),k=0].base_servers",
+    ),
+    _relation(
+        "ch9-nk-tco-monotone", "fault_nk_sizing", "Study: N+k sizing",
+        "Each tolerated failure adds a server, so monthly TCO is monotone in k",
+        "rows[design=Scale-Out (OoO),k=4].monthly_tco_usd", ">=",
+        rhs_metric="rows[design=Scale-Out (OoO),k=0].monthly_tco_usd",
+    ),
+    _relation(
+        "ch9-nk-availability-gain", "fault_nk_sizing", "Study: N+k sizing",
+        "Redundancy buys availability: k = 2 survives outages k = 0 cannot",
+        "rows[design=Scale-Out (OoO),k=2].cluster_availability", ">",
+        rhs_metric="rows[design=Scale-Out (OoO),k=0].cluster_availability",
+    ),
+    _relation(
+        "ch9-link-failures-raise-latency", "fault_noc_links", "Study: NoC link faults",
+        "Routing around eight failed mesh links lengthens request latency",
+        "rows[failed_links=8].request_latency_cycles", ">",
+        rhs_metric="rows[failed_links=0].request_latency_cycles",
+    ),
+    _relation(
+        "ch9-link-failures-cut-ipc", "fault_noc_links", "Study: NoC link faults",
+        "The longer faulted-network round trips depress system IPC",
+        "rows[failed_links=8].system_ipc", "<",
+        rhs_metric="rows[failed_links=0].system_ipc",
     ),
 )
 

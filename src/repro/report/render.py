@@ -26,6 +26,7 @@ CHAPTER_TITLES = {
     6: "3D-stacked scale-out processors",
     7: "Service-level studies (beyond the paper)",
     8: "Design-space exploration (beyond the paper)",
+    9: "Dependability under faults (beyond the paper)",
 }
 
 _GRADE_MARK = {Grade.PASS: "✅ pass", Grade.WARN: "⚠️ warn", Grade.FAIL: "❌ fail"}

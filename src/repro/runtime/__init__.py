@@ -15,6 +15,7 @@ from repro.runtime.executor import (
     MAX_WORKERS_ENV,
     SERIAL_EXECUTOR,
     SweepExecutor,
+    SweepPointError,
 )
 from repro.runtime.spec import ExperimentResult, ExperimentSpec
 
@@ -28,6 +29,7 @@ __all__ = [
     "ResultCache",
     "SpecCatalog",
     "SweepExecutor",
+    "SweepPointError",
     "UnknownExperimentError",
     "canonicalize",
     "result_key",

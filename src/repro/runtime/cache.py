@@ -125,7 +125,8 @@ class ResultCache:
         self._memory: "dict[str, object]" = {}
         self.cache_dir = cache_dir
         self._stats: "dict[str, int]" = {
-            "hits": 0, "misses": 0, "stores": 0, "evictions": 0, "bytes_stored": 0,
+            "hits": 0, "misses": 0, "stores": 0, "evictions": 0, "corrupt": 0,
+            "bytes_stored": 0,
         }
         self._category_stats: "dict[str, dict[str, int]]" = {}
         if cache_dir:
@@ -138,7 +139,7 @@ class ResultCache:
         category = category or self.DEFAULT_CATEGORY
         self._stats[kind] += amount
         per_category = self._category_stats.setdefault(
-            category, {"hits": 0, "misses": 0, "stores": 0, "evictions": 0}
+            category, {"hits": 0, "misses": 0, "stores": 0, "evictions": 0, "corrupt": 0}
         )
         if kind in per_category:
             per_category[kind] += amount
@@ -174,7 +175,7 @@ class ResultCache:
             self._count("hits", category)
             return copy.deepcopy(self._memory[key])
         if self.cache_dir:
-            payload = self._read_disk(key)
+            payload = self._read_disk(key, category)
             if payload is not None:
                 self._memory[key] = payload
                 self._count("hits", category)
@@ -223,20 +224,30 @@ class ResultCache:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, f"{key}{suffix}")
 
-    def _read_disk(self, key: str) -> object:
+    def _read_disk(self, key: str, category: "str | None" = None) -> object:
+        """The on-disk payload for ``key``, or ``None``.
+
+        A corrupt or unreadable entry (truncated JSON, stale pickle, bad
+        permissions, any deserialization failure) degrades to a miss -- it is
+        counted under the ``corrupt`` kind (and the tracer's
+        ``cache.<category>.corrupt`` counter) but never raised, so one bad
+        file cannot take down a run that can simply recompute.
+        """
         json_path = self._path(key, ".json")
         if os.path.exists(json_path):
             try:
                 with open(json_path, "r", encoding="utf-8") as handle:
                     return json.load(handle)["payload"]
-            except (ValueError, KeyError, OSError):
+            except Exception:
+                self._count("corrupt", category)
                 return None
         pickle_path = self._path(key, ".pkl")
         if os.path.exists(pickle_path):
             try:
                 with open(pickle_path, "rb") as handle:
                     return pickle.load(handle)
-            except (pickle.UnpicklingError, EOFError, OSError):
+            except Exception:
+                self._count("corrupt", category)
                 return None
         return None
 

@@ -147,6 +147,11 @@ def _run_one(
         entry["strategy"] = stats.get("strategy")
         entry["cache_hits"] = stats.get("cache_hits")
         entry["evaluated"] = stats.get("evaluated")
+    if "fault_schedule_digest" in result.provenance:
+        # Faulted runs stay reproducible from `repro stats`: the ledger record
+        # carries the generator seed and the fault-schedule digest.
+        entry["fault_seed"] = result.provenance.get("fault_seed")
+        entry["fault_schedule_digest"] = result.provenance["fault_schedule_digest"]
     _log_run(entry)
     return result
 
@@ -470,7 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list catalogued experiments")
     p_list.add_argument("--chapter", type=int, default=None,
                         help="filter by chapter (2-6; 7 = service studies, "
-                             "8 = design-space explorations)")
+                             "8 = design-space explorations, "
+                             "9 = fault/dependability studies)")
     p_list.add_argument("--kind", choices=("figure", "table", "study", "explore"),
                         default=None, help="filter by kind")
     p_list.set_defaults(func=_cmd_list)

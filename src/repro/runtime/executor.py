@@ -33,6 +33,50 @@ MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 
 _MODES = ("auto", "serial", "process")
 
+
+class SweepPointError(RuntimeError):
+    """A sweep point failed even after its chunk was retried in-process.
+
+    Raised by :meth:`SweepExecutor.map` when a chunk's worker failed (point
+    exception or worker crash), the chunk was re-run serially in the parent,
+    and one of its points failed again -- so the failure is attributable to
+    the point itself, not the pool.  ``point_index`` is the zero-based
+    submission index of the failing point.
+    """
+
+    def __init__(self, message: str, point_index: int):
+        super().__init__(message)
+        self.point_index = point_index
+
+
+def _retry_chunk(
+    fn: "Callable[..., object]", chunk: "list[tuple]", first_index: int
+) -> "list[object]":
+    """Re-run a failed chunk serially, isolating which point is at fault.
+
+    A chunk future can fail for two reasons: one of its points raised, or the
+    worker process died (``BrokenProcessPool``) and took every queued chunk
+    with it.  Either way the points themselves may be fine, so each is retried
+    once in the parent process; a point that fails again raises
+    :class:`SweepPointError` naming its submission index.
+    """
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.counter("executor.chunk_retries").add(1)
+    results: "list[object]" = []
+    for offset, args in enumerate(chunk):
+        try:
+            results.append(fn(*args))
+        except Exception as exc:
+            index = first_index + offset
+            raise SweepPointError(
+                f"sweep point {index} failed after chunk retry: {exc!r}",
+                point_index=index,
+            ) from exc
+    return results
+
 #: Chunks submitted per worker when ``chunksize`` is unset: enough slack for
 #: load balancing across uneven points without per-point IPC overhead.
 _CHUNKS_PER_WORKER = 4
@@ -163,8 +207,13 @@ class SweepExecutor:
         with pool:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
             results: "list[object]" = []
-            for future in futures:
-                results.extend(future.result())
+            for index, future in enumerate(futures):
+                try:
+                    results.extend(future.result())
+                except Exception:
+                    results.extend(
+                        _retry_chunk(fn, chunks[index], index * chunksize)
+                    )
             return results
 
     def _chunksize_for(self, num_points: int, workers: int) -> int:
@@ -214,7 +263,21 @@ class SweepExecutor:
                         for index, chunk in enumerate(chunks)
                     ]
                     for index, future in enumerate(futures):
-                        chunk_results, spans, counters = future.result()
+                        try:
+                            chunk_results, spans, counters = future.result()
+                        except Exception:
+                            first = index * chunksize
+                            with tracer.span(
+                                "executor.chunk_retry",
+                                category="executor",
+                                index=index,
+                                first_point=first,
+                                points=len(chunks[index]),
+                            ):
+                                results.extend(
+                                    _retry_chunk(fn, chunks[index], first)
+                                )
+                            continue
                         for span in spans:
                             span.attributes.setdefault("worker", index)
                         tracer.adopt(spans, counters, offset_s=handoff)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +33,10 @@ from repro.service.latency import LatencyCollector, LatencyStats
 from repro.service.queueing import Request, RequestServer
 from repro.service.servicetime import make_service_time
 from repro.sim.engine import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids an import cycle)
+    from repro.faults.events import FaultSchedule
+    from repro.faults.metrics import DependabilityStats
 
 #: Policies whose routing decisions never read queue state; their simulations
 #: decompose into independent per-server FCFS recurrences and run on the
@@ -90,7 +95,12 @@ class ClusterConfig:
 
 @dataclass(frozen=True)
 class ClusterResult:
-    """Outcome of one cluster simulation."""
+    """Outcome of one cluster simulation.
+
+    ``dependability`` is filled only by fault-injected runs (see
+    :mod:`repro.faults.inject`); un-faulted runs leave it ``None``, keeping
+    their results byte-identical to pre-fault-subsystem ones.
+    """
 
     config: ClusterConfig
     latency: LatencyStats
@@ -99,6 +109,7 @@ class ClusterResult:
     duration_s: float
     mean_utilization: float
     per_server_counts: "dict[int, int]"
+    dependability: "DependabilityStats | None" = None
 
     @property
     def achieved_qps(self) -> float:
@@ -125,21 +136,42 @@ class ClusterSimulation:
     ``engine="auto"`` (default) picks the fast engine whenever the policy
     allows it; ``engine="event"`` is the escape hatch, ``engine="fast"``
     asserts the policy is state-free.
+
+    A non-empty ``faults`` schedule routes the run through the fault-injected
+    event engine (:mod:`repro.faults.inject`); crashes and stragglers need
+    live queue state, so ``engine="fast"`` rejects faults.  An empty (or
+    ``None``) schedule takes exactly the un-faulted code path -- zero-fault
+    results are byte-identical to runs that never heard of faults.
     """
 
-    def __init__(self, config: ClusterConfig, seed: int = 1, engine: str = "auto"):
+    def __init__(
+        self,
+        config: ClusterConfig,
+        seed: int = 1,
+        engine: str = "auto",
+        faults: "FaultSchedule | None" = None,
+    ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         if engine == "fast" and config.policy not in STATE_FREE_POLICIES:
             raise ValueError(
                 f"policy {config.policy!r} reads queue state and needs the event engine"
             )
+        if faults is not None and faults.is_empty():
+            faults = None
+        if faults is not None and engine == "fast":
+            raise ValueError(
+                "fault injection needs live queue state; use engine='auto' or 'event'"
+            )
         self.config = config
         self.seed = seed
         self.engine = engine
+        self.faults = faults
 
     def resolved_engine(self) -> str:
         """The engine ("fast" or "event") this simulation will run on."""
+        if self.faults is not None:
+            return "event"
         if self.engine == "auto":
             return "fast" if self.config.policy in STATE_FREE_POLICIES else "event"
         return self.engine
@@ -194,6 +226,10 @@ class ClusterSimulation:
             requests=num_requests,
             servers=self.config.num_servers,
         ):
+            if self.faults is not None:
+                from repro.faults.inject import run_faulted
+
+                return run_faulted(self, num_requests, self.faults)
             if engine == "fast":
                 return self._run_fast(num_requests)
             return self._run_event(num_requests)
@@ -318,6 +354,9 @@ def simulate_cluster(
     num_requests: int = 5_000,
     seed: int = 1,
     engine: str = "auto",
+    faults: "FaultSchedule | None" = None,
 ) -> ClusterResult:
     """Convenience wrapper: build and run one cluster simulation."""
-    return ClusterSimulation(config, seed=seed, engine=engine).run(num_requests)
+    return ClusterSimulation(config, seed=seed, engine=engine, faults=faults).run(
+        num_requests
+    )

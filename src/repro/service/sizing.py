@@ -205,6 +205,64 @@ class SizingResult:
         return self.monthly_tco_usd / (self.target_qps / 1e6)
 
 
+@dataclass(frozen=True)
+class RedundantSizingResult:
+    """Minimum N+k cluster: meets the SLA even with ``k`` servers down.
+
+    ``servers`` is the deployed count ``n``; the survivability requirement is
+    that the surviving ``n - k`` servers still serve ``target_qps`` within the
+    p99 SLA.  Because per-server p99 falls monotonically in the server count,
+    the minimal such ``n`` is exactly ``base_servers + k`` -- the un-faulted
+    :meth:`ClusterSizer.size` answer plus one spare per tolerated failure --
+    so ``k = 0`` reduces to today's sizing bit-for-bit.
+    """
+
+    design: str
+    workload: str
+    target_qps: float
+    sla_p99_s: float
+    k: int
+    base_servers: int
+    servers: int
+    racks: int
+    utilization: float
+    p99_s: float
+    degraded_p99_s: float
+    server_availability: float
+    cluster_availability: float
+    monthly_tco_usd: float
+    base_monthly_tco_usd: float
+    tco_breakdown: TcoBreakdown
+
+    @property
+    def redundancy_overhead(self) -> float:
+        """Fractional monthly-TCO premium over the k=0 cluster."""
+        if self.base_monthly_tco_usd <= 0:
+            return 0.0
+        return self.monthly_tco_usd / self.base_monthly_tco_usd - 1.0
+
+
+def cluster_availability(servers: int, k: int, server_availability: float) -> float:
+    """P(at most ``k`` of ``servers`` i.i.d. servers are down simultaneously).
+
+    The cluster meets its SLA while no more than ``k`` servers are failed
+    (that is what the N+k sizing guarantees), so this binomial tail is the
+    steady-state probability the deployed cluster is SLA-capable.
+    """
+    if not 0.0 <= server_availability <= 1.0:
+        raise ValueError("server_availability must be in [0, 1]")
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    q = 1.0 - server_availability
+    return min(
+        1.0,
+        sum(
+            math.comb(servers, i) * (q**i) * (server_availability ** (servers - i))
+            for i in range(min(k, servers) + 1)
+        ),
+    )
+
+
 class SlaInfeasibleError(ValueError):
     """The SLA cannot be met at any cluster size (or within the search bound)."""
 
@@ -309,5 +367,65 @@ class ClusterSizer:
             p99_s=queue.latency_quantile(0.99),
             mean_latency_s=queue.mean_latency_s,
             monthly_tco_usd=tco.total,
+            tco_breakdown=tco,
+        )
+
+    def size_n_plus_k(
+        self,
+        chip: ScaleOutChip,
+        workload: WorkloadProfile,
+        target_qps: float,
+        sla_p99_s: float,
+        k: int = 1,
+        server_mtbf_h: float = 4380.0,
+        server_mttr_h: float = 4.0,
+    ) -> RedundantSizingResult:
+        """Minimum monthly-TCO cluster that meets the SLA with ``k`` servers down.
+
+        Args:
+            chip: the server chip design.
+            workload: the service workload profile.
+            target_qps: offered load the *surviving* servers must carry.
+            sla_p99_s: the p99 latency SLA.
+            k: concurrent server failures the cluster must survive (``k=0``
+                reduces to :meth:`size` exactly).
+            server_mtbf_h: per-server mean time between failures, hours
+                (drives the availability estimate only, not the size).
+            server_mttr_h: per-server mean time to repair, hours.
+
+        Returns:
+            The deployed ``base + k`` cluster with nominal and degraded p99,
+            binomial cluster availability, and its TCO next to the k=0 TCO.
+        """
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        if server_mtbf_h <= 0 or server_mttr_h < 0:
+            raise ValueError("server_mtbf_h must be positive and server_mttr_h >= 0")
+        base = self.size(chip, workload, target_qps, sla_p99_s)
+        servers = base.servers + k
+        capacity = calibrate_chip(chip, workload, self.datacenter.model)
+        server = self.datacenter.build_server(chip, memory_gb=self.memory_gb)
+        nominal = self.server_queue(capacity, server.sockets, target_qps / servers)
+        racks = max(1, math.ceil(servers / server.servers_per_rack()))
+        price = self.datacenter.pricing.price(chip.name, chip.die_area_mm2)
+        tco = self.datacenter.tco_model.monthly_tco(server, servers, racks, price)
+        availability = server_mtbf_h / (server_mtbf_h + server_mttr_h)
+        return RedundantSizingResult(
+            design=chip.name,
+            workload=capacity.workload,
+            target_qps=target_qps,
+            sla_p99_s=sla_p99_s,
+            k=k,
+            base_servers=base.servers,
+            servers=servers,
+            racks=racks,
+            utilization=nominal.utilization,
+            p99_s=nominal.latency_quantile(0.99),
+            # With k servers down the survivors are exactly the base cluster.
+            degraded_p99_s=base.p99_s,
+            server_availability=availability,
+            cluster_availability=cluster_availability(servers, k, availability),
+            monthly_tco_usd=tco.total,
+            base_monthly_tco_usd=base.monthly_tco_usd,
             tco_breakdown=tco,
         )

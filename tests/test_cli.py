@@ -19,7 +19,7 @@ class TestList:
         assert code == 0
         assert "figure_4_6" in out and "table_3_2" in out
         assert "service_latency_sweep" in out
-        assert "36 experiments" in out
+        assert "40 experiments" in out
 
     def test_list_filters(self, capsys):
         code, out, _ = run_cli(capsys, "list", "--chapter", "4", "--kind", "table")
@@ -34,7 +34,7 @@ class TestList:
         assert "table_4_1" not in out
 
     def test_list_no_match(self, capsys):
-        code, _, err = run_cli(capsys, "list", "--chapter", "9")
+        code, _, err = run_cli(capsys, "list", "--chapter", "12")
         assert code == 1
         assert "no experiments" in err
 
