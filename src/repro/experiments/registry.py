@@ -21,6 +21,7 @@ from typing import Callable
 from repro.dse import studies as dse_studies
 from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6, service
 from repro.experiments import faults as fault_studies
+from repro.experiments import fleet as fleet_studies
 from repro.runtime import (
     ExperimentResult,
     ExperimentSpec,
@@ -56,6 +57,9 @@ DSE_CHAPTER = 8
 #: Chapter number used for fault-injection / dependability studies.
 FAULTS_CHAPTER = 9
 
+#: Chapter number used for fleet-scale traffic studies.
+FLEET_CHAPTER = 10
+
 
 def _study(
     experiment_id: str, function: "Callable[..., object]", produces: str
@@ -87,6 +91,18 @@ def _fault_study(
     return ExperimentSpec(
         experiment_id=experiment_id,
         chapter=FAULTS_CHAPTER,
+        kind="study",
+        function=function,
+        produces=produces,
+    )
+
+
+def _fleet_study(
+    experiment_id: str, function: "Callable[..., object]", produces: str
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        chapter=FLEET_CHAPTER,
         kind="study",
         function=function,
         produces=produces,
@@ -137,6 +153,10 @@ CATALOG = SpecCatalog(
         _fault_study("fault_mttr_sensitivity", fault_studies.service_mttr_sweep, "Dependability vs repair time (MTTR) at fixed crash intensity"),
         _fault_study("fault_nk_sizing", fault_studies.service_nk_sizing, "N+k redundancy sizing: TCO and cluster availability vs tolerated failures"),
         _fault_study("fault_noc_links", fault_studies.noc_fault_sweep, "NoC latency and system IPC as links fail and traffic reroutes"),
+        _fleet_study("fleet_diurnal_day", fleet_studies.fleet_diurnal_day, "A compressed diurnal day across three datacenters: load, capacity, tail latency"),
+        _fleet_study("fleet_autoscale_policies", fleet_studies.fleet_autoscale_policies, "Static vs reactive autoscaling on monthly TCO and SLA attainment"),
+        _fleet_study("fleet_geo_routing", fleet_studies.fleet_geo_routing, "Geo-routing policies under skewed regional demand"),
+        _fleet_study("fleet_class_priorities", fleet_studies.fleet_class_priorities, "Interactive vs batch tail latency under the prioritized request mix"),
     ]
 )
 

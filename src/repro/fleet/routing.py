@@ -1,0 +1,156 @@
+"""Geo-routing: splitting regional demand across the fleet's datacenters.
+
+Routing is a per-epoch *fluid* decision: given each (request class, origin
+region) demand in QPS and the capacity each datacenter deploys this epoch,
+a policy produces the share of that demand each datacenter serves.  The
+simulated arrival streams are then generated per (datacenter, class, origin)
+share, so routing never touches the per-request fast/event kernels -- the
+determinism contract stays intact.
+
+Three policies cover the design space:
+
+* ``nearest`` -- every region sends all traffic to its lowest-latency
+  datacenter; minimal network latency, no load awareness.
+* ``latency_weighted`` -- demand splits across all datacenters proportionally
+  to inverse network latency (plus one base hop so the local site stays
+  finite); load-oblivious but spreads work.
+* ``spillover`` -- fill the nearest datacenter up to a headroom threshold of
+  its capacity, overflow to the next nearest, and so on; request classes are
+  processed in priority order, so interactive traffic claims the close-by
+  capacity before batch does.
+
+:class:`RequestClass` declares the traffic mix: each class carries a share of
+the offered load, a scheduling priority (routing order), a service-time
+scale, and the p99 SLA it is graded against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.geo import Datacenter, Region, network_latency_s
+
+#: The geo-routing policies the fleet engine accepts.
+ROUTING_POLICIES = ("nearest", "latency_weighted", "spillover")
+
+#: Headroom fraction of a datacenter's capacity that ``spillover`` fills
+#: before overflowing to the next-nearest site.
+DEFAULT_SPILL_THRESHOLD = 0.75
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One prioritized traffic class in the fleet's request mix.
+
+    Attributes:
+        name: class name (``"interactive"``).
+        fraction: share of the fleet's offered load this class carries.
+        priority: routing order -- lower values claim capacity first under
+            ``spillover`` (ties broken by declaration order).
+        service_scale: multiplier on the datacenter's mean service time
+            (batch work is heavier than an interactive lookup).
+        sla_p99_ms: the p99 latency objective the class is graded against.
+    """
+
+    name: str
+    fraction: float
+    priority: int = 0
+    service_scale: float = 1.0
+    sla_p99_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.service_scale <= 0:
+            raise ValueError("service_scale must be positive")
+        if self.sla_p99_ms <= 0:
+            raise ValueError("sla_p99_ms must be positive")
+
+
+#: The default two-class mix: latency-sensitive interactive traffic plus a
+#: lower-priority batch tail with 4x the per-request work.
+DEFAULT_CLASSES = (
+    RequestClass("interactive", fraction=0.8, priority=0, service_scale=1.0,
+                 sla_p99_ms=60.0),
+    RequestClass("batch", fraction=0.2, priority=1, service_scale=4.0,
+                 sla_p99_ms=400.0),
+)
+
+
+def latency_rank(origin: Region, datacenters: "tuple[Datacenter, ...]") -> "list[int]":
+    """Datacenter indices sorted by network latency from ``origin``.
+
+    Ties (two sites in the same region) break by datacenter index, so the
+    ranking -- and everything routed through it -- is deterministic.
+    """
+    return sorted(
+        range(len(datacenters)),
+        key=lambda i: (network_latency_s(origin, datacenters[i].region), i),
+    )
+
+
+def route_demand(
+    policy: str,
+    origin: Region,
+    demand_qps: float,
+    datacenters: "tuple[Datacenter, ...]",
+    capacities_qps: "list[float]",
+    allocated_qps: "list[float]",
+    spill_threshold: float = DEFAULT_SPILL_THRESHOLD,
+) -> "list[tuple[int, float]]":
+    """Split one (class, origin) demand across datacenters under ``policy``.
+
+    Args:
+        policy: one of :data:`ROUTING_POLICIES`.
+        origin: the region the demand originates from.
+        demand_qps: the demand to place (QPS).
+        datacenters: the fleet's sites.
+        capacities_qps: this epoch's deployed capacity per datacenter.
+        allocated_qps: running per-datacenter allocation for this epoch;
+            ``spillover`` reads *and updates* it, so earlier (higher-
+            priority) calls shape later ones.  The other policies leave
+            their accounting to the caller-visible update done here too.
+        spill_threshold: headroom fraction ``spillover`` fills per site.
+
+    Returns:
+        ``(datacenter_index, qps)`` pairs with positive shares summing to
+        ``demand_qps`` (to float rounding).
+    """
+    if policy not in ROUTING_POLICIES:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; known: {ROUTING_POLICIES}"
+        )
+    if demand_qps < 0:
+        raise ValueError("demand_qps must be >= 0")
+    shares: "list[tuple[int, float]]" = []
+    if demand_qps == 0:
+        return shares
+    rank = latency_rank(origin, datacenters)
+    if policy == "nearest":
+        shares = [(rank[0], demand_qps)]
+    elif policy == "latency_weighted":
+        # One base-hop offset keeps the local (zero-latency) site finite.
+        weights = [
+            1.0 / (network_latency_s(origin, datacenters[i].region) + 0.0005)
+            for i in range(len(datacenters))
+        ]
+        total = sum(weights)
+        shares = [
+            (i, demand_qps * weights[i] / total) for i in range(len(datacenters))
+        ]
+    else:  # spillover
+        remaining = demand_qps
+        for position, index in enumerate(rank):
+            if remaining <= 0:
+                break
+            headroom = spill_threshold * capacities_qps[index] - allocated_qps[index]
+            last = position == len(rank) - 1
+            # The farthest site absorbs whatever is left: demand is open-loop
+            # and must land somewhere, threshold or not.
+            take = remaining if last else min(remaining, max(0.0, headroom))
+            if take > 0:
+                shares.append((index, take))
+                remaining -= take
+    for index, qps in shares:
+        allocated_qps[index] += qps
+    return shares

@@ -304,6 +304,64 @@ PAPER_CLAIMS: "tuple[PaperClaim, ...]" = (
         "rows[failed_links=8].system_ipc", "<",
         rhs_metric="rows[failed_links=0].system_ipc",
     ),
+    # ------------------------------------------ chapter 10 (beyond paper)
+    _value(
+        "ch10-diurnal-peak-multiplier", "fleet_diurnal_day", "Study: diurnal day",
+        "The diurnal shape peaks at 1.75x the day's mean rate (hour 14)",
+        "rows[epoch=14,datacenter=fleet].multiplier", 1.75, rel=0.01,
+    ),
+    _relation(
+        "ch10-diurnal-peak-tail", "fleet_diurnal_day", "Study: diurnal day",
+        "Peak-hour queueing stretches fleet p99 well beyond the trough hour's",
+        "rows[epoch=14,datacenter=fleet].p99_ms", ">",
+        rhs_metric="rows[epoch=2,datacenter=fleet].p99_ms",
+    ),
+    _relation(
+        "ch10-static-never-scales", "fleet_autoscale_policies", "Study: autoscaling",
+        "The statically provisioned baseline records zero scaling events",
+        "rows[autoscale=static].scale_events", "==", expected=0,
+    ),
+    _relation(
+        "ch10-autoscale-cuts-tco", "fleet_autoscale_policies", "Study: autoscaling",
+        "Target-utilization autoscaling sheds off-peak capacity and cuts monthly TCO",
+        "rows[autoscale=target_utilization].monthly_cost_usd", "<",
+        rhs_metric="rows[autoscale=static].monthly_cost_usd",
+    ),
+    _relation(
+        "ch10-queue-depth-cuts-tco", "fleet_autoscale_policies", "Study: autoscaling",
+        "Queue-depth autoscaling also undercuts static provisioning on TCO",
+        "rows[autoscale=queue_depth].monthly_cost_usd", "<",
+        rhs_metric="rows[autoscale=static].monthly_cost_usd",
+    ),
+    _relation(
+        "ch10-nearest-min-network", "fleet_geo_routing", "Study: geo-routing",
+        "Nearest routing minimizes mean network latency across the policies",
+        "rows[routing=nearest].network_ms_mean", "<=",
+        rhs_metric="rows.network_ms_mean:min",
+    ),
+    _relation(
+        "ch10-spillover-sheds-hotspot", "fleet_geo_routing", "Study: geo-routing",
+        "Under skewed demand, spillover sheds the hot site's load that nearest piles on",
+        "rows[routing=spillover].max_utilization", "<",
+        rhs_metric="rows[routing=nearest].max_utilization",
+    ),
+    _relation(
+        "ch10-spillover-tail-win", "fleet_geo_routing", "Study: geo-routing",
+        "Trading network hops for queueing headroom cuts the fleet p99 under skew",
+        "rows[routing=spillover].p99_ms", "<",
+        rhs_metric="rows[routing=nearest].p99_ms",
+    ),
+    _relation(
+        "ch10-interactive-beats-batch", "fleet_class_priorities", "Study: request classes",
+        "The prioritized interactive class holds a lower p99 than the 4x-heavier batch class",
+        "rows[request_class=interactive].p99_ms", "<",
+        rhs_metric="rows[request_class=batch].p99_ms",
+    ),
+    _relation(
+        "ch10-both-classes-within-sla", "fleet_class_priorities", "Study: request classes",
+        "Both request classes keep at least 95% of requests inside their own SLA",
+        "rows.sla_attainment:min", ">=", expected=0.95,
+    ),
 )
 
 

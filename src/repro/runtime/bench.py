@@ -93,6 +93,92 @@ def _service_request_count(kwargs: "Mapping[str, object]") -> int:
     return len(tuple(utilizations)) * num_requests
 
 
+def _bench_fleet_day(overrides: "Mapping[str, object]") -> "dict[str, object]":
+    """Time a high-load fleet day on the fast engine against the event reference.
+
+    Simulates one diurnal day for a three-datacenter fleet (JSQ servers,
+    latency-weighted geo-routing, skewed origin weights) at
+    ``--set fleet_requests=N`` total requests (default 120M) on the fast SoA
+    engine, then replays a scaled-down day (``fleet_reference_requests``,
+    default 2M) on the discrete-event reference engine.  The two variants run
+    different request counts -- a full day through the event engine would take
+    hours -- so ``speedup`` is the ratio of per-request throughputs, not wall
+    times.  The tests/test_fleet_equivalence.py suite separately holds the two
+    engines bit-identical on equal inputs.
+    """
+    from repro.fleet import (
+        DIURNAL_24,
+        Datacenter,
+        FleetConfig,
+        FleetSimulation,
+        LoadShape,
+        Region,
+    )
+
+    requests_target = int(float(overrides.get("fleet_requests", 120_000_000)))
+    reference_target = int(float(overrides.get("fleet_reference_requests", 2_000_000)))
+    seed = int(overrides.get("seed", 1))
+    offered_qps = 50_000.0
+
+    def day_config(total_requests: int) -> FleetConfig:
+        """The benchmark fleet, with the day length derived from the request
+        target at fixed offered QPS — both variants exercise identical
+        per-epoch utilization trajectories and differ only in how many
+        requests each epoch holds."""
+        epoch_s = total_requests / (offered_qps * DIURNAL_24.num_epochs)
+        layout = (
+            ("us-east", 0.0, 0.0, 27),
+            ("eu-west", 1.5, 0.4, 24),
+            ("ap-south", 3.0, -0.5, 17),
+        )
+        datacenters = tuple(
+            Datacenter(
+                name, Region(name, x, y), num_servers=servers, parallelism=4,
+                service_mean_s=0.002, policy="jsq",
+            )
+            for name, x, y, servers in layout
+        )
+        return FleetConfig(
+            datacenters=datacenters,
+            offered_qps=offered_qps,
+            routing="latency_weighted",
+            load_shape=LoadShape(DIURNAL_24.multipliers, epoch_s=epoch_s),
+            origin_weights=(0.40, 0.35, 0.25),
+        )
+
+    start = time.perf_counter()
+    fast = FleetSimulation(day_config(requests_target), seed=seed, engine="fast").run()
+    fast_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    event = FleetSimulation(
+        day_config(reference_target), seed=seed, engine="event"
+    ).run()
+    event_wall = time.perf_counter() - start
+
+    fast_rate = fast.total_requests / max(fast_wall, 1e-9)
+    event_rate = event.total_requests / max(event_wall, 1e-9)
+    return {
+        "unit": "requests",
+        "units": fast.total_requests,
+        "parameters": {
+            "fleet_requests": requests_target,
+            "fleet_reference_requests": reference_target,
+            "seed": seed,
+        },
+        "fastpath": {
+            "wall_s": round(fast_wall, 6),
+            "units_per_s": round(fast_rate, 1),
+            "requests": fast.total_requests,
+        },
+        "reference": {
+            "wall_s": round(event_wall, 6),
+            "units_per_s": round(event_rate, 1),
+            "requests": event.total_requests,
+        },
+        "speedup": round(fast_rate / max(event_rate, 1e-9), 2),
+    }
+
+
 def _bench_pareto_kernel(overrides: "Mapping[str, object]") -> "dict[str, object]":
     """Time the vectorized dominance kernel against the pure-Python reference.
 
@@ -253,6 +339,12 @@ BENCH_TARGETS: "dict[str, BenchTarget]" = {
         unit="requests",
         reference_overrides={"engine": "event"},
         count_units=_service_request_count,
+    ),
+    "fleet_scale_day": BenchTarget(
+        experiment_id="fleet_scale_day",
+        domain="service",
+        unit="requests",
+        runner=_bench_fleet_day,
     ),
     "pareto_kernel": BenchTarget(
         experiment_id="pareto_kernel",

@@ -476,7 +476,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.add_argument("--chapter", type=int, default=None,
                         help="filter by chapter (2-6; 7 = service studies, "
                              "8 = design-space explorations, "
-                             "9 = fault/dependability studies)")
+                             "9 = fault/dependability studies, "
+                             "10 = fleet-scale traffic studies)")
     p_list.add_argument("--kind", choices=("figure", "table", "study", "explore"),
                         default=None, help="filter by kind")
     p_list.set_defaults(func=_cmd_list)

@@ -43,7 +43,127 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids an import cycle)
 #: vectorized fast engine.
 STATE_FREE_POLICIES = ("random", "round_robin")
 
+#: Every policy the fast engine reproduces bit-identically to the event
+#: engine: the state-free pair plus the queue-state-aware ``jsq``/``po2``,
+#: which :func:`balanced_completion_times` replays with lazy heaps.
+FAST_POLICIES = ("random", "round_robin", "jsq", "po2")
+
 _ENGINES = ("auto", "fast", "event")
+
+
+def fcfs_completion_times(
+    arrivals: "list[float]",
+    services: "list[float]",
+    assignment: "list[int]",
+    num_servers: int,
+    parallelism: int,
+) -> "list[float]":
+    """Completion times for a fixed routing: independent FCFS G/G/k stations.
+
+    With the per-request server choice already known (state-free policies, or
+    a replayed balancer decision), each server reduces to the classic
+    earliest-free-unit recurrence over a k-slot heap of unit-free times:
+    ``start = max(arrival, earliest free)``, ``completion = start + service``.
+    The float expressions mirror the event engine exactly, so the returned
+    times are bitwise equal to an :class:`~repro.sim.engine.EventQueue` run.
+    The fleet layer reuses this kernel for its per-epoch datacenter chunks.
+    """
+    unit_free = [[0.0] * parallelism for _ in range(num_servers)]
+    completions = [0.0] * len(arrivals)
+    heapreplace = heapq.heapreplace
+    for index in range(len(arrivals)):
+        heap = unit_free[assignment[index]]
+        free = heap[0]
+        arrival = arrivals[index]
+        start = arrival if arrival >= free else free
+        completion = start + services[index]
+        heapreplace(heap, completion)
+        completions[index] = completion
+    return completions
+
+
+def balanced_completion_times(
+    arrivals: "list[float]",
+    services: "list[float]",
+    policy: str,
+    num_servers: int,
+    parallelism: int,
+    routing_rng: "random.Random",
+) -> "tuple[list[float], list[int]]":
+    """Completion times and routing for the queue-state-aware policies.
+
+    ``jsq`` and ``po2`` route on live backlogs, so the FCFS recurrence alone
+    is not enough: the kernel additionally tracks each server's in-system
+    count (queued plus in service) at every arrival instant.  Two lazy heaps
+    make that O(log n) per request:
+
+    * a global ``(completion, server)`` heap drains finished requests -- with
+      the *strict* ``< t`` comparison, because the event engine schedules all
+      arrivals before any completion and its tie-break is insertion order, so
+      an arrival at exactly a completion's timestamp still sees that request
+      in the system;
+    * for ``jsq``, a ``(count, server)`` heap with stale-entry invalidation
+      yields the minimum-backlog server with the lowest-id tie-break --
+      exactly :class:`~repro.service.balancer.JoinShortestQueue`'s
+      ``min(..., key=(backlog, i))``.
+
+    ``po2`` replays :class:`~repro.service.balancer.PowerOfTwoChoices`'s draw
+    sequence from ``routing_rng`` verbatim (first uniform over ``n``, second
+    over ``n - 1`` with the shift), so the routing stream is bit-identical to
+    the event engine's.
+
+    Returns:
+        ``(completions, assignment)`` lists, bitwise equal to an event run.
+    """
+    if policy not in ("jsq", "po2"):
+        raise ValueError(f"no balanced-kernel replay for policy {policy!r}")
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    heapreplace = heapq.heapreplace
+    randrange = routing_rng.randrange
+    jsq = policy == "jsq"
+
+    unit_free = [[0.0] * parallelism for _ in range(num_servers)]
+    counts = [0] * num_servers
+    in_system: "list[tuple[float, int]]" = []
+    count_heap: "list[tuple[int, int]]" = [(0, s) for s in range(num_servers)]
+    completions = [0.0] * len(arrivals)
+    assignment = [0] * len(arrivals)
+    for index in range(len(arrivals)):
+        arrival = arrivals[index]
+        while in_system and in_system[0][0] < arrival:
+            server = heappop(in_system)[1]
+            count = counts[server] - 1
+            counts[server] = count
+            if jsq:
+                heappush(count_heap, (count, server))
+        if jsq:
+            while True:
+                count, server = count_heap[0]
+                if counts[server] == count:
+                    break
+                heappop(count_heap)
+        elif num_servers == 1:
+            server = 0
+        else:
+            first = randrange(num_servers)
+            second = randrange(num_servers - 1)
+            if second >= first:
+                second += 1
+            server = second if counts[second] < counts[first] else first
+        heap = unit_free[server]
+        free = heap[0]
+        start = arrival if arrival >= free else free
+        completion = start + services[index]
+        heapreplace(heap, completion)
+        completions[index] = completion
+        assignment[index] = server
+        count = counts[server] + 1
+        counts[server] = count
+        if jsq:
+            heappush(count_heap, (count, server))
+        heappush(in_system, (completion, server))
+    return completions, assignment
 
 
 @dataclass(frozen=True)
@@ -127,15 +247,16 @@ class ClusterSimulation:
     * the **event engine** drives :class:`RequestServer` stations on a shared
       :class:`EventQueue` and supports every policy (it is required for the
       state-aware ``jsq`` and ``po2`` balancers);
-    * the **fast engine** exploits that ``random`` and ``round_robin`` routing
-      is independent of queue state: once the routing sequence is fixed, each
-      server is an isolated FCFS G/G/k station whose start times follow the
-      classic earliest-free-unit recurrence over a k-slot heap -- no event
-      objects, no callbacks.
+    * the **fast engine** replays routing without event objects or callbacks:
+      state-free policies (``random``/``round_robin``) fix the routing up
+      front and reduce each server to an isolated FCFS G/G/k recurrence
+      (:func:`fcfs_completion_times`); the queue-state-aware ``jsq``/``po2``
+      run the lazy-heap kernel (:func:`balanced_completion_times`) that
+      tracks in-system counts exactly as the event engine's backlogs evolve.
 
-    ``engine="auto"`` (default) picks the fast engine whenever the policy
-    allows it; ``engine="event"`` is the escape hatch, ``engine="fast"``
-    asserts the policy is state-free.
+    ``engine="auto"`` (default) picks the fast engine for every policy in
+    :data:`FAST_POLICIES` (currently all of them); ``engine="event"`` is the
+    reference escape hatch.
 
     A non-empty ``faults`` schedule routes the run through the fault-injected
     event engine (:mod:`repro.faults.inject`); crashes and stragglers need
@@ -153,9 +274,10 @@ class ClusterSimulation:
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
-        if engine == "fast" and config.policy not in STATE_FREE_POLICIES:
+        if engine == "fast" and config.policy not in FAST_POLICIES:
             raise ValueError(
-                f"policy {config.policy!r} reads queue state and needs the event engine"
+                f"policy {config.policy!r} has no fast-engine replay; "
+                "use engine='auto' or 'event'"
             )
         if faults is not None and faults.is_empty():
             faults = None
@@ -173,7 +295,7 @@ class ClusterSimulation:
         if self.faults is not None:
             return "event"
         if self.engine == "auto":
-            return "fast" if self.config.policy in STATE_FREE_POLICIES else "event"
+            return "fast" if self.config.policy in FAST_POLICIES else "event"
         return self.engine
 
     def _generate_request_arrays(self, count: int) -> "tuple[np.ndarray, np.ndarray]":
@@ -295,24 +417,21 @@ class ClusterSimulation:
     def _run_fast(self, num_requests: int) -> ClusterResult:
         config = self.config
         arrivals, services = self._generate_request_arrays(num_requests)
-        assignment = self._routing_sequence(num_requests)
         parallelism = config.parallelism
 
         arrival_list = arrivals.tolist()
         service_list = services.tolist()
-        # One k-slot heap of unit-free times per server: the next request on a
-        # server starts at max(arrival, earliest unit free time) -- the FCFS
-        # G/G/k recurrence the event engine resolves with callbacks.
-        unit_free = [[0.0] * parallelism for _ in range(config.num_servers)]
-        completions = [0.0] * num_requests
-        for index in range(num_requests):
-            heap = unit_free[assignment[index]]
-            free = heap[0]
-            arrival = arrival_list[index]
-            start = arrival if arrival >= free else free
-            completion = start + service_list[index]
-            heapq.heapreplace(heap, completion)
-            completions[index] = completion
+        if config.policy in STATE_FREE_POLICIES:
+            assignment = self._routing_sequence(num_requests)
+            completions = fcfs_completion_times(
+                arrival_list, service_list, assignment,
+                config.num_servers, parallelism,
+            )
+        else:
+            completions, assignment = balanced_completion_times(
+                arrival_list, service_list, config.policy,
+                config.num_servers, parallelism, random.Random(self.seed + 2),
+            )
 
         completion_arr = np.array(completions, dtype=np.float64)
         latencies = completion_arr - arrivals

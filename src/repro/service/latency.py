@@ -23,13 +23,15 @@ import numpy as np
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Summary statistics over a set of per-request latencies (seconds)."""
+    """Summary statistics over a set of per-request latencies (seconds).
+
+    An empty sample set is legal -- a prioritized request class can simply
+    receive no traffic in a window -- and reports every statistic as ``nan``
+    (and ``meets_sla`` as ``False``) instead of raising, so fleet-level
+    aggregation over classes never crashes on a starved class.
+    """
 
     samples: "tuple[float, ...]"
-
-    def __post_init__(self) -> None:
-        if len(self.samples) == 0:
-            raise ValueError("LatencyStats needs at least one sample")
 
     @cached_property
     def _ordered(self) -> np.ndarray:
@@ -54,10 +56,14 @@ class LatencyStats:
 
     @property
     def mean_s(self) -> float:
+        if self._ordered.size == 0:
+            return float("nan")
         return float(self._ordered.mean())
 
     @property
     def max_s(self) -> float:
+        if self._ordered.size == 0:
+            return float("nan")
         return float(self._ordered[-1])
 
     def percentile(self, fraction: float) -> float:
@@ -65,11 +71,16 @@ class LatencyStats:
         return float(self.percentiles(np.array([fraction]))[0])
 
     def percentiles(self, fractions: np.ndarray) -> np.ndarray:
-        """Vectorized quantile extraction (linear interpolation, one sort)."""
+        """Vectorized quantile extraction (linear interpolation, one sort).
+
+        With no samples every requested quantile is ``nan``.
+        """
         fractions = np.asarray(fractions, dtype=np.float64)
         if np.any((fractions < 0.0) | (fractions > 1.0)):
             raise ValueError("fraction must be within [0, 1]")
         ordered = self._ordered
+        if len(ordered) == 0:
+            return np.full(fractions.shape, np.nan)
         if len(ordered) == 1:
             return np.full(fractions.shape, ordered[0])
         position = fractions * (len(ordered) - 1)
@@ -91,7 +102,11 @@ class LatencyStats:
         return self.percentile(0.99)
 
     def meets_sla(self, p99_target_s: float) -> bool:
-        """Whether the p99 latency stays within the SLA target."""
+        """Whether the p99 latency stays within the SLA target.
+
+        ``False`` for an empty sample set (``nan`` compares false), so a
+        starved class never silently counts as SLA-compliant.
+        """
         return self.p99_s <= p99_target_s
 
     def summary(self, scale: float = 1e3) -> "dict[str, float]":

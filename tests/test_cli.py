@@ -19,7 +19,7 @@ class TestList:
         assert code == 0
         assert "figure_4_6" in out and "table_3_2" in out
         assert "service_latency_sweep" in out
-        assert "40 experiments" in out
+        assert "44 experiments" in out
 
     def test_list_filters(self, capsys):
         code, out, _ = run_cli(capsys, "list", "--chapter", "4", "--kind", "table")
@@ -160,6 +160,10 @@ class TestBench:
             "rows=2000",
             "--set",
             "budget=24",
+            "--set",
+            "fleet_requests=20000",
+            "--set",
+            "fleet_reference_requests=20000",
         )
         assert code == 0
         envelope = json.loads(out)
@@ -168,6 +172,7 @@ class TestBench:
         assert set(by_id) == {
             "figure_4_6",
             "service_latency_sweep",
+            "fleet_scale_day",
             "pareto_kernel",
             "dse_search_ga",
             "dse_search_halving",
