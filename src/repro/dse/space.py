@@ -193,3 +193,25 @@ class DesignSpace:
             "constraints": [c.name for c in self.constraints],
             "metric_constraints": [c.name for c in self.metric_constraints],
         }
+
+
+def node_axis(nodes: "Sequence[object] | None" = None) -> Axis:
+    """A ``"node"`` axis over the technology family, validated and normalized.
+
+    Args:
+        nodes: node keys (names like ``"40nm"``, bare strings, feature sizes,
+            or :class:`~repro.technology.node.TechnologyNode` objects); ``None``
+            selects the whole default family, oldest node first.
+
+    Returns:
+        An :class:`Axis` named ``"node"`` whose values are canonical node
+        names, so candidate dictionaries stay JSON-able and cache keys stay
+        stable regardless of how callers spelled the nodes.
+    """
+    from repro.technology.family import DEFAULT_FAMILY
+
+    if nodes is None:
+        names = tuple(DEFAULT_FAMILY.names)
+    else:
+        names = tuple(DEFAULT_FAMILY.node(key).name for key in nodes)
+    return Axis("node", names)

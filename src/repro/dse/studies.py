@@ -17,6 +17,9 @@ through the :class:`~repro.dse.explorer.Explorer`:
 * :func:`explore_pod_scale` -- the pod space with every axis widened to a
   ~111k-candidate space that only the search strategies can touch; exhaustive
   exploration is rejected outright.
+* :func:`explore_node_family` -- the pod space swept across the whole derived
+  90nm->7nm technology family (:mod:`repro.technology.family`), grouped per
+  (node, core family), showing the frontier marching with every shrink.
 
 Every function returns a JSON-able payload (``candidates`` / ``frontier`` /
 ``knees`` / ``stats``) and accepts an ``executor`` so the runtime can fan
@@ -79,6 +82,7 @@ def explore_pod_40nm(
     llc_per_pod_mb: "Sequence[float]" = (1.0, 2.0, 4.0, 8.0),
     pods_per_chip: "Sequence[int]" = (1, 2, 3, 4, 6, 8),
     interconnect: str = "crossbar",
+    nodes: "Sequence[str]" = ("40nm",),
     sample: "int | None" = None,
     seed: int = 0,
     strategy: str = "exhaustive",
@@ -91,16 +95,63 @@ def explore_pod_40nm(
 
     Dominance is evaluated per core family (``group_by="core_type"``), matching
     the paper's separate OoO and in-order design tracks, over performance
-    density, performance per watt, and raw chip performance.
+    density, performance per watt, and raw chip performance.  ``nodes``
+    retargets the same space to another family node (the CLI's ``--node``).
     """
     space = _pod_space(
-        core_types, cores_per_pod, llc_per_pod_mb, pods_per_chip, ("40nm",), (interconnect,)
+        core_types, cores_per_pod, llc_per_pod_mb, pods_per_chip, tuple(nodes), (interconnect,)
     )
     explorer = Explorer(
         space,
         objectives=CHIP_OBJECTIVES,
         evaluator="chip",
         group_by="core_type",
+        executor=executor,
+        cache=evaluation_cache,
+        use_cache=use_evaluation_cache,
+    )
+    result = explorer.explore(sample=sample, seed=seed, strategy=strategy, budget=budget)
+    payload = result.payload()
+    payload["space"] = space.describe()
+    return payload
+
+
+def explore_node_family(
+    core_types: "Sequence[str]" = ("ooo", "inorder"),
+    cores_per_pod: "Sequence[int]" = (4, 8, 16, 32),
+    llc_per_pod_mb: "Sequence[float]" = (1.0, 2.0, 4.0),
+    pods_per_chip: "Sequence[int]" = (1, 2, 4),
+    interconnect: str = "crossbar",
+    nodes: "Sequence[str] | None" = None,
+    sample: "int | None" = None,
+    seed: int = 0,
+    strategy: str = "exhaustive",
+    budget: "int | None" = None,
+    use_evaluation_cache: bool = True,
+    evaluation_cache: "ResultCache | None" = None,
+    executor: "SweepExecutor | None" = None,
+) -> "dict[str, object]":
+    """The pod space swept across the whole derived technology family.
+
+    ``nodes`` defaults to every node of
+    :data:`repro.technology.family.DEFAULT_FAMILY` (90nm->7nm, oldest first),
+    and frontiers are extracted per (node, core family) -- the ChipSuite
+    shape, one frontier per node, showing how the Pareto set and its knee
+    march as logic shrinks 30x while the socket and memory interfaces stay
+    fixed.  The axes include small pods (4 cores) and small LLCs so the
+    90 nm end of the family still has feasible out-of-order points.
+    """
+    from repro.dse.space import node_axis
+
+    node_values = node_axis(nodes).values
+    space = _pod_space(
+        core_types, cores_per_pod, llc_per_pod_mb, pods_per_chip, node_values, (interconnect,)
+    )
+    explorer = Explorer(
+        space,
+        objectives=CHIP_OBJECTIVES,
+        evaluator="chip",
+        group_by=("node", "core_type"),
         executor=executor,
         cache=evaluation_cache,
         use_cache=use_evaluation_cache,
@@ -164,6 +215,7 @@ def explore_sla_sizing(
     pods_per_chip: "Sequence[int]" = (1, 2, 3),
     memory_gb: "Sequence[int]" = (32, 64),
     interconnect: str = "crossbar",
+    nodes: "Sequence[str]" = ("40nm",),
     sample: "int | None" = None,
     seed: int = 0,
     strategy: str = "exhaustive",
@@ -187,7 +239,7 @@ def explore_sla_sizing(
             Axis("llc_per_pod_mb", tuple(llc_per_pod_mb)),
             Axis("pods_per_chip", tuple(pods_per_chip)),
             Axis("memory_gb", tuple(memory_gb)),
-            Axis("node", ("40nm",)),
+            Axis("node", tuple(nodes)),
             Axis("interconnect", (interconnect,)),
         ),
         metric_constraints=(

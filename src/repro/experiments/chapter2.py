@@ -15,7 +15,7 @@ from repro.core.designs import standard_designs
 from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
 from repro.runtime.executor import SERIAL_EXECUTOR, SweepExecutor
 from repro.technology.components import ComponentCatalog
-from repro.technology.node import NODE_20NM, NODE_40NM, TechnologyNode
+from repro.technology.node import NODE_20NM, NODE_40NM, TechnologyNode, coerce_node
 from repro.workloads.suite import WorkloadSuite, default_suite
 
 
@@ -106,9 +106,9 @@ def figure_2_3_core_scaling(
     return rows
 
 
-def table_2_1_components(node: TechnologyNode = NODE_40NM) -> "list[dict[str, object]]":
+def table_2_1_components(node: "TechnologyNode | str | int" = NODE_40NM) -> "list[dict[str, object]]":
     """Component area and power estimates (Table 2.1)."""
-    catalog = ComponentCatalog(node)
+    catalog = ComponentCatalog(coerce_node(node))
     rows = []
     for spec in (
         catalog.conventional_core,

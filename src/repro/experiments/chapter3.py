@@ -16,7 +16,7 @@ from repro.perfmodel.analytic import AnalyticPerformanceModel, SystemConfig
 from repro.perfmodel.validation import validate_against
 from repro.runtime.executor import SweepExecutor
 from repro.sim.system import simulate_system
-from repro.technology.node import NODE_20NM, NODE_40NM, TechnologyNode
+from repro.technology.node import NODE_20NM, NODE_40NM, TechnologyNode, coerce_node
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.suite import WorkloadSuite, default_suite
 
@@ -92,11 +92,11 @@ def figure_3_3_model_validation(
 
 
 def figure_3_4_pd_sweep_ooo(
-    node: TechnologyNode = NODE_40NM,
+    node: "TechnologyNode | str | int" = NODE_40NM,
     suite: "WorkloadSuite | None" = None,
 ) -> "list[dict[str, object]]":
     """Performance density versus core count and LLC size for OoO pods."""
-    methodology = ScaleOutDesignMethodology(node=node, suite=suite)
+    methodology = ScaleOutDesignMethodology(node=coerce_node(node), suite=suite)
     rows = []
     for point in methodology.sweep_pods("ooo", interconnects=("ideal", "crossbar", "mesh")):
         rows.append(
@@ -111,11 +111,11 @@ def figure_3_4_pd_sweep_ooo(
 
 
 def figure_3_5_pod_selection(
-    node: TechnologyNode = NODE_40NM,
+    node: "TechnologyNode | str | int" = NODE_40NM,
     suite: "WorkloadSuite | None" = None,
 ) -> "dict[str, object]":
     """Crossbar pod sweep plus the selected (near-optimal, fewest-core) pod."""
-    methodology = ScaleOutDesignMethodology(node=node, suite=suite)
+    methodology = ScaleOutDesignMethodology(node=coerce_node(node), suite=suite)
     points = methodology.sweep_pods("ooo", interconnects=("crossbar",))
     selected = methodology.pd_optimal_pod("ooo")
     return {
@@ -134,11 +134,11 @@ def figure_3_5_pod_selection(
 
 
 def figure_3_6_pd_sweep_inorder(
-    node: TechnologyNode = NODE_40NM,
+    node: "TechnologyNode | str | int" = NODE_40NM,
     suite: "WorkloadSuite | None" = None,
 ) -> "list[dict[str, object]]":
     """Performance density versus core count and LLC size for in-order pods."""
-    methodology = ScaleOutDesignMethodology(node=node, suite=suite)
+    methodology = ScaleOutDesignMethodology(node=coerce_node(node), suite=suite)
     rows = []
     for point in methodology.sweep_pods("inorder", interconnects=("ideal", "crossbar", "mesh")):
         rows.append(
@@ -153,13 +153,13 @@ def figure_3_6_pd_sweep_inorder(
 
 
 def table_3_2_design_comparison(
-    node: TechnologyNode = NODE_40NM,
+    node: "TechnologyNode | str | int" = NODE_40NM,
     suite: "WorkloadSuite | None" = None,
 ) -> "list[dict[str, object]]":
     """Full design comparison including Scale-Out Processors (Table 3.2)."""
     suite = suite or default_suite()
     model = AnalyticPerformanceModel()
-    designs = standard_designs(node, model, suite)
+    designs = standard_designs(coerce_node(node), model, suite)
     return compare_designs(designs, model, suite).as_dicts()
 
 

@@ -14,7 +14,7 @@ from repro.core.methodology import ScaleOutDesignMethodology
 from repro.core.pod import Pod
 from repro.runtime.executor import SERIAL_EXECUTOR, SweepExecutor
 from repro.technology.components import ComponentCatalog
-from repro.technology.node import NODE_40NM, TechnologyNode
+from repro.technology.node import NODE_40NM, TechnologyNode, coerce_node
 from repro.three_d.designer import ThreeDDesignStudy
 from repro.workloads.suite import WorkloadSuite, default_suite
 
@@ -34,9 +34,9 @@ def _pd3d_chunk(
     )
 
 
-def table_6_1_components(node: TechnologyNode = NODE_40NM) -> "list[dict[str, object]]":
+def table_6_1_components(node: "TechnologyNode | str | int" = NODE_40NM) -> "list[dict[str, object]]":
     """Component area/power for the 3D study (DDR4 interfaces)."""
-    catalog = ComponentCatalog(node)
+    catalog = ComponentCatalog(coerce_node(node))
     rows = []
     for spec in (catalog.ooo_core, catalog.inorder_core, catalog.llc_per_mb, catalog.memory_interface):
         rows.append(

@@ -22,6 +22,7 @@ from repro.dse import studies as dse_studies
 from repro.experiments import chapter2, chapter3, chapter4, chapter5, chapter6, service
 from repro.experiments import faults as fault_studies
 from repro.experiments import fleet as fleet_studies
+from repro.experiments import technology as technology_studies
 from repro.runtime import (
     ExperimentResult,
     ExperimentSpec,
@@ -59,6 +60,9 @@ FAULTS_CHAPTER = 9
 
 #: Chapter number used for fleet-scale traffic studies.
 FLEET_CHAPTER = 10
+
+#: Chapter number used for technology-node family studies (90nm->7nm).
+TECHNOLOGY_CHAPTER = 11
 
 
 def _study(
@@ -104,6 +108,21 @@ def _fleet_study(
         experiment_id=experiment_id,
         chapter=FLEET_CHAPTER,
         kind="study",
+        function=function,
+        produces=produces,
+    )
+
+
+def _technology(
+    experiment_id: str,
+    function: "Callable[..., object]",
+    produces: str,
+    kind: str = "study",
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        chapter=TECHNOLOGY_CHAPTER,
+        kind=kind,
         function=function,
         produces=produces,
     )
@@ -157,6 +176,11 @@ CATALOG = SpecCatalog(
         _fleet_study("fleet_autoscale_policies", fleet_studies.fleet_autoscale_policies, "Static vs reactive autoscaling on monthly TCO and SLA attainment"),
         _fleet_study("fleet_geo_routing", fleet_studies.fleet_geo_routing, "Geo-routing policies under skewed regional demand"),
         _fleet_study("fleet_class_priorities", fleet_studies.fleet_class_priorities, "Interactive vs batch tail latency under the prioritized request mix"),
+        _technology("node_family_table", technology_studies.node_family_table, "The derived 90nm-7nm node family: scaling factors and extrapolation flags"),
+        _technology("node_design_scaling", technology_studies.node_design_scaling, "Conventional/Scale-Out/1Pod designs re-sized at every family node"),
+        _technology("node_pod_selection", technology_studies.node_pod_selection, "PD-optimal pod per (node, core family) via the Chapter 3 methodology"),
+        _technology("node_sram_scaling", technology_studies.node_sram_scaling, "LLC bank area/latency/energy across capacity and node (CACTI stand-in)"),
+        _technology("explore_node_family", dse_studies.explore_node_family, "Pod design space across the whole node family; frontier shift per node", kind="explore"),
     ]
 )
 
@@ -225,6 +249,28 @@ def run_experiment(
         "cache_key": key,
         "kwargs": {name: repr(value) for name, value in sorted(merged.items())},
     }
+    # Node-parameterized runs pin which family nodes produced the data and
+    # whether any scaling rule had to extrapolate to derive them, so a sweep
+    # at 7nm is never mistaken for a paper-calibrated result.
+    node_keys: "object | None" = merged.get("nodes")
+    if node_keys is None and merged.get("node") is not None:
+        node_keys = [merged["node"]]
+    if node_keys is not None:
+        from repro.technology.family import DEFAULT_FAMILY
+
+        if isinstance(node_keys, (str, int)):
+            node_keys = [node_keys]
+        try:
+            provenance["nodes"] = [
+                {
+                    "node": DEFAULT_FAMILY.node(key).name,
+                    "calibrated": not DEFAULT_FAMILY.is_extrapolated(key),
+                    "extrapolated_rules": DEFAULT_FAMILY.extrapolated_rules(key),
+                }
+                for key in node_keys  # type: ignore[union-attr]
+            ]
+        except (KeyError, TypeError):
+            pass  # custom TechnologyNode objects outside the family
     # Faulted studies pin their fault load: the generator seed plus a SHA-256
     # digest of every schedule, so any faulted run is reproducible from its
     # envelope (and the ledger record built from it).

@@ -3,13 +3,16 @@
 Chapters 2-6 claims pin the reproduction to statements the Scale-Out
 Processors paper makes about its figures and tables -- published speedups,
 the selected pod configuration, qualitative orderings between designs.
-Chapters 7-9 cover the repo's beyond-paper studies (service simulation,
-design-space exploration, fault injection); their claims attest internal
-consistency with the paper's conclusions -- e.g. that the exploration's knee
-points are exactly the paper's chosen Scale-Out designs (the check that used
-to live in ``explore_pod_40nm``'s ad-hoc ``paper_designs`` payload), or that
-the dependability studies respond to fault load in the physically required
-direction (crashes cut availability, redundancy buys it back).
+Chapters 7-11 cover the repo's beyond-paper studies (service simulation,
+design-space exploration, fault injection, fleet simulation, the
+technology-node family); their claims attest internal consistency with the
+paper's conclusions -- e.g. that the exploration's knee points are exactly
+the paper's chosen Scale-Out designs (the check that used to live in
+``explore_pod_40nm``'s ad-hoc ``paper_designs`` payload), that the
+dependability studies respond to fault load in the physically required
+direction (crashes cut availability, redundancy buys it back), or that the
+derived node family keeps the paper's anchor node byte-exact while the
+Pareto frontier shifts monotonically with technology.
 
 :func:`register_claims` wires the registry into a
 :class:`~repro.runtime.SpecCatalog` so specs carry their claims;
@@ -361,6 +364,88 @@ PAPER_CLAIMS: "tuple[PaperClaim, ...]" = (
         "ch10-both-classes-within-sla", "fleet_class_priorities", "Study: request classes",
         "Both request classes keep at least 95% of requests inside their own SLA",
         "rows.sla_attainment:min", ">=", expected=0.95,
+    ),
+    # ------------------------------------------ chapter 11 (beyond paper)
+    _relation(
+        "ch11-anchor-area-unity", "node_family_table", "Study: node family",
+        "The derived 40 nm node is the paper's anchor: logic area scale exactly 1",
+        "rows[node=40nm].logic_area_scale", "==", expected=1.0,
+    ),
+    _relation(
+        "ch11-anchor-power-unity", "node_family_table", "Study: node family",
+        "The derived 40 nm node is the paper's anchor: logic power scale exactly 1",
+        "rows[node=40nm].logic_power_scale", "==", expected=1.0,
+    ),
+    _relation(
+        "ch11-dennard-vdd-stalls", "node_family_table", "Study: node family",
+        "Dennard breakdown: Vdd sits flat at 0.9 V from 40 nm down through 28 nm",
+        "rows[node=28nm].vdd", "==", rhs_metric="rows[node=40nm].vdd",
+    ),
+    _relation(
+        "ch11-analog-never-shrinks-max", "node_family_table", "Study: node family",
+        "Analog/PHY area does not scale with feature size at any family node",
+        "rows.analog_area_scale:max", "==", expected=1.0,
+    ),
+    _relation(
+        "ch11-analog-never-shrinks-min", "node_family_table", "Study: node family",
+        "Analog/PHY area does not scale with feature size at any family node",
+        "rows.analog_area_scale:min", "==", expected=1.0,
+    ),
+    _relation(
+        "ch11-calibrated-band", "node_family_table", "Study: node family",
+        "Exactly the four 40-20 nm nodes sit inside the calibrated scaling band",
+        "rows[calibrated=True].node:count", "==", expected=4,
+    ),
+    _relation(
+        "ch11-extrapolation-flagged", "node_family_table", "Study: node family",
+        "Nodes outside the calibrated band carry an explicit extrapolation flag",
+        "rows[node=7nm].calibrated", "==", expected=False,
+    ),
+    _relation(
+        "ch11-conventional-dies-at-90nm", "node_design_scaling", "Study: design scaling",
+        "At 90 nm no conventional-core chip fits the fixed socket at any size",
+        "rows[node=90nm,design=Conventional].feasible", "==", expected=False,
+    ),
+    _relation(
+        "ch11-tco-improves-with-node", "node_design_scaling", "Study: design scaling",
+        "Shrinking 40 nm to 20 nm raises Scale-Out (OoO) performance per TCO dollar",
+        "rows[node=20nm,design=Scale-Out (OoO)].performance_per_tco", ">",
+        rhs_metric="rows[node=40nm,design=Scale-Out (OoO)].performance_per_tco",
+    ),
+    _value(
+        "ch11-pod-selection-consistent", "node_pod_selection", "Figure 3.5 / node sweep",
+        "The per-node methodology reproduces Figure 3.5's 40 nm OoO pod density",
+        "rows[node=40nm,core_type=ooo].performance_density", 0.1488, rel=0.02,
+    ),
+    _relation(
+        "ch11-sram-density-scales", "node_sram_scaling", "Study: SRAM scaling",
+        "A 16 MB LLC bank at 7 nm occupies a small fraction of its 90 nm area",
+        "rows[node=7nm,capacity_mb=16.0].area_mm2", "<",
+        rhs_metric="rows[node=90nm,capacity_mb=16.0].area_mm2",
+    ),
+    _relation(
+        "ch11-family-knee-matches-paper", "explore_node_family", "Section 2.3 / family exploration",
+        "The family-wide exploration's 40 nm OoO knee is still the paper's chip",
+        'data.knees["40nm / ooo"].candidate', "==",
+        expected="ooo/16/4.0/crossbar/2/40nm",
+    ),
+    _relation(
+        "ch11-frontier-shift-20nm", "explore_node_family", "Section 2.4.1 / family exploration",
+        "The OoO knee's performance density keeps rising from 40 nm to 20 nm",
+        'data.knees["20nm / ooo"].performance_density', ">",
+        rhs_metric='data.knees["40nm / ooo"].performance_density',
+    ),
+    _relation(
+        "ch11-frontier-shift-7nm", "explore_node_family", "Study: family exploration",
+        "The frontier keeps shifting up past the paper: 7 nm beats the 20 nm knee",
+        'data.knees["7nm / ooo"].performance_density', ">",
+        rhs_metric='data.knees["20nm / ooo"].performance_density',
+    ),
+    _relation(
+        "ch11-90nm-trails-anchor", "explore_node_family", "Study: family exploration",
+        "Walking the family backwards, the 90 nm knee trails the 40 nm anchor",
+        'data.knees["90nm / ooo"].performance_density', "<",
+        rhs_metric='data.knees["40nm / ooo"].performance_density',
     ),
 )
 

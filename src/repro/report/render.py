@@ -28,6 +28,7 @@ CHAPTER_TITLES = {
     8: "Design-space exploration (beyond the paper)",
     9: "Dependability under faults (beyond the paper)",
     10: "Fleet-scale traffic simulation (beyond the paper)",
+    11: "The technology-node family (beyond the paper)",
 }
 
 _GRADE_MARK = {Grade.PASS: "✅ pass", Grade.WARN: "⚠️ warn", Grade.FAIL: "❌ fail"}

@@ -120,8 +120,22 @@ def _run_one(
     overrides.update(extra)
     function = CATALOG.get(experiment_id).function
     executor = _executor_for(args)
-    if executor is not None and "executor" in inspect.signature(function).parameters:
+    parameters = inspect.signature(function).parameters
+    if executor is not None and "executor" in parameters:
         overrides["executor"] = executor
+    # --node retargets any node-aware experiment: single-node functions take
+    # `node`, family sweeps take `nodes` (restricted to the one requested).
+    node = getattr(args, "node", None)
+    if node is not None:
+        if "node" in parameters:
+            overrides.setdefault("node", node)
+        elif "nodes" in parameters:
+            overrides.setdefault("nodes", (node,))
+        else:
+            raise SystemExit(
+                f"{experiment_id!r} is not node-parameterized; "
+                "--node needs an experiment with a `node` or `nodes` parameter"
+            )
     # Cache-aware experiments (the explore studies) memoize their internal
     # model evaluations too; forward the cache flags so --no-cache really
     # recomputes and --cache-dir persists evaluations across processes.
@@ -477,7 +491,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="filter by chapter (2-6; 7 = service studies, "
                              "8 = design-space explorations, "
                              "9 = fault/dependability studies, "
-                             "10 = fleet-scale traffic studies)")
+                             "10 = fleet-scale traffic studies, "
+                             "11 = technology-node family studies)")
     p_list.add_argument("--kind", choices=("figure", "table", "study", "explore"),
                         default=None, help="filter by kind")
     p_list.set_defaults(func=_cmd_list)
@@ -504,9 +519,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parameter override (repeatable)")
         add_execution_flags(p)
 
+    def add_node_flag(p: argparse.ArgumentParser) -> None:
+        """Attach --node (technology-family retargeting) to ``p``."""
+        p.add_argument("--node", default=None, metavar="NODE",
+                       help="retarget a node-aware experiment to one family "
+                            "node (e.g. 90nm, 40, 7nm); see docs/technology.md")
+
     p_run = sub.add_parser("run", help="run experiments and print their tables")
     p_run.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see `list`)")
     add_run_flags(p_run)
+    add_node_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="cross-product parameter sweep of one experiment")
@@ -528,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--seed", type=int, default=None,
                            help="seed for sampling and the search strategies")
     add_run_flags(p_explore)
+    add_node_flag(p_explore)
     p_explore.set_defaults(func=_cmd_explore)
 
     p_report = sub.add_parser(

@@ -8,12 +8,23 @@ design-space studies reproduce the paper's constraints.
 
 from repro.technology.node import (
     TechnologyNode,
+    ChipConstraints,
     NODE_40NM,
     NODE_32NM,
     NODE_20NM,
     get_node,
+    coerce_node,
     scale_area,
     scale_power,
+)
+from repro.technology.family import (
+    DEFAULT_FAMILY,
+    FAMILY_NODE_NAMES,
+    NodeFamily,
+    NodeRecipe,
+    ScalingRule,
+    derive_node,
+    node_provenance,
 )
 from repro.technology.cacti import SramModel, CacheEstimate
 from repro.technology.wires import WireModel
@@ -25,12 +36,21 @@ from repro.technology.components import (
 
 __all__ = [
     "TechnologyNode",
+    "ChipConstraints",
     "NODE_40NM",
     "NODE_32NM",
     "NODE_20NM",
     "get_node",
+    "coerce_node",
     "scale_area",
     "scale_power",
+    "DEFAULT_FAMILY",
+    "FAMILY_NODE_NAMES",
+    "NodeFamily",
+    "NodeRecipe",
+    "ScalingRule",
+    "derive_node",
+    "node_provenance",
     "SramModel",
     "CacheEstimate",
     "WireModel",

@@ -12,6 +12,14 @@ A :class:`TechnologyNode` carries the supply voltage, operating frequency, and t
 scaling factors relative to the 40nm baseline.  Component catalogs
 (:mod:`repro.technology.components`) use these factors to derive per-node area and
 power figures from the paper's published 40nm values (Table 2.1).
+
+The three paper nodes are no longer hand-written constants: they (and the wider
+90nm->7nm family) are derived from declared scaling rules by
+:mod:`repro.technology.family`, with the 40/32/20nm results regression-pinned to
+be byte-identical to the previously published values.  ``NODE_40NM`` /
+``NODE_32NM`` / ``NODE_20NM`` remain importable from this module (resolved
+lazily through the default family), and :func:`get_node` now accepts any family
+node by name (``"40nm"``), bare string (``"40"``), or feature size (``40``).
 """
 
 from __future__ import annotations
@@ -115,68 +123,55 @@ def scale_power(power_w_40nm: float, node: TechnologyNode, analog: bool = False)
     return power_w_40nm * node.logic_power_scale
 
 
-#: Baseline node for Chapters 2, 3, 5 and 6.  95 W, ~250-280 mm^2, six DDR3
-#: channels maximum (Section 2.4.1).
-NODE_40NM = TechnologyNode(
-    name="40nm",
-    feature_nm=40,
-    vdd=0.9,
-    frequency_ghz=2.0,
-    logic_area_scale=1.0,
-    logic_power_scale=1.0,
-    analog_area_scale=1.0,
-    memory_standard="DDR3",
-    constraints=ChipConstraints(max_area_mm2=280.0, max_power_w=95.0, max_memory_channels=6),
-)
-
-#: Node used for the NOC-Out study (Chapter 4): a 64-core pod at 32nm.  The area
-#: scale reproduces the paper's 2.9 mm^2 ARM Cortex-A15 and 3.2 mm^2/MB LLC.
-NODE_32NM = TechnologyNode(
-    name="32nm",
-    feature_nm=32,
-    vdd=0.9,
-    frequency_ghz=2.0,
-    logic_area_scale=0.64,
-    logic_power_scale=0.85,
-    analog_area_scale=1.0,
-    memory_standard="DDR3",
-    constraints=ChipConstraints(max_area_mm2=280.0, max_power_w=95.0, max_memory_channels=6),
-)
-
-# The per-component 20nm power scale is applied to a *fixed microarchitecture*
-# (same core, same cache block): capacitance scales by 0.25 and V^2 by (0.8/0.9)^2,
-# so a 40nm component consumes ~0.2x the power at 20nm at constant frequency.
-_PER_COMPONENT_20NM_POWER = 0.25 * (0.8 / 0.9) ** 2
-
-#: Scaling-projection node (Section 2.4.1): perfect area scaling of logic over two
-#: generations (4x density), 0.8 V supply, DDR4 interfaces, constant frequency.
-NODE_20NM = TechnologyNode(
-    name="20nm",
-    feature_nm=20,
-    vdd=0.8,
-    frequency_ghz=2.0,
-    logic_area_scale=0.25,
-    logic_power_scale=_PER_COMPONENT_20NM_POWER,
-    analog_area_scale=1.0,
-    memory_standard="DDR4",
-    constraints=ChipConstraints(max_area_mm2=280.0, max_power_w=95.0, max_memory_channels=6),
-)
-
-_NODES = {
-    "40nm": NODE_40NM,
-    "32nm": NODE_32NM,
-    "20nm": NODE_20NM,
-    40: NODE_40NM,
-    32: NODE_32NM,
-    20: NODE_20NM,
+# The paper's pinned nodes are derived by repro.technology.family and resolved
+# lazily (PEP 562) so node.py and family.py can import each other's pieces
+# without a cycle: family imports the dataclasses above at module load, while
+# these constants only touch family on first attribute access.
+#
+# NODE_40NM -- baseline for Chapters 2, 3, 5 and 6: 95 W, ~250-280 mm^2, six
+#   DDR3 channels maximum (Section 2.4.1).
+# NODE_32NM -- the NOC-Out study node (Chapter 4): the 0.64 area scale
+#   reproduces the paper's 2.9 mm^2 ARM Cortex-A15 and 3.2 mm^2/MB LLC.
+# NODE_20NM -- the scaling projection (Section 2.4.1): perfect area scaling
+#   over two generations (4x density), 0.8 V, DDR4, constant frequency; the
+#   per-component power scale is 0.25 * (0.8/0.9)^2 for a fixed
+#   microarchitecture (capacitance by 0.25, V^2 by the supply ratio).
+_PINNED_CONSTANTS = {
+    "NODE_40NM": "40nm",
+    "NODE_32NM": "32nm",
+    "NODE_20NM": "20nm",
 }
 
 
-def get_node(name: "str | int") -> TechnologyNode:
-    """Look up a predefined technology node by name (``"40nm"``) or feature size (40)."""
+def __getattr__(name: str) -> TechnologyNode:
+    """Resolve the pinned node constants lazily through the default family."""
     try:
-        return _NODES[name]
+        key = _PINNED_CONSTANTS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown technology node {name!r}; available: 40nm, 32nm, 20nm"
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
         ) from None
+    from repro.technology.family import DEFAULT_FAMILY
+
+    node = DEFAULT_FAMILY.node(key)
+    globals()[name] = node
+    return node
+
+
+def get_node(name: "str | int | float | TechnologyNode") -> TechnologyNode:
+    """Look a family node up by name (``"40nm"``), bare string, or feature size.
+
+    ``"40nm"``, ``"40"``, ``40``, and an already-constructed
+    :class:`TechnologyNode` all resolve uniformly.  Unknown nodes raise a
+    :class:`KeyError` whose message enumerates the registry dynamically.
+    """
+    from repro.technology.family import DEFAULT_FAMILY
+
+    return DEFAULT_FAMILY.node(name)
+
+
+def coerce_node(node: "TechnologyNode | str | int | float") -> TechnologyNode:
+    """Return ``node`` itself if already a :class:`TechnologyNode`, else look it up."""
+    if isinstance(node, TechnologyNode):
+        return node
+    return get_node(node)

@@ -19,7 +19,7 @@ class TestList:
         assert code == 0
         assert "figure_4_6" in out and "table_3_2" in out
         assert "service_latency_sweep" in out
-        assert "44 experiments" in out
+        assert "49 experiments" in out
 
     def test_list_filters(self, capsys):
         code, out, _ = run_cli(capsys, "list", "--chapter", "4", "--kind", "table")
@@ -81,6 +81,34 @@ class TestRun:
         code, _, err = run_cli(capsys, "run", "figure_9_9")
         assert code == 2
         assert "unknown experiment" in err
+
+    def test_run_node_flag_restricts_family_study(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "node_family_table", "--node", "7nm", "--json", "--no-cache"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert [row["node"] for row in payload["rows"]] == ["7nm"]
+        assert payload["provenance"]["nodes"] == [
+            {
+                "node": "7nm",
+                "calibrated": False,
+                "extrapolated_rules": ["logic_area", "vdd", "logic_power", "wires"],
+            }
+        ]
+
+    def test_run_node_flag_on_single_node_experiment(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "table_2_1", "--node", "20nm", "--json", "--no-cache"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["provenance"]["nodes"][0]["node"] == "20nm"
+        assert payload["provenance"]["nodes"][0]["calibrated"] is True
+
+    def test_run_node_flag_rejects_non_node_experiment(self, capsys):
+        with pytest.raises(SystemExit, match="not node-parameterized"):
+            run_cli(capsys, "run", "fleet_diurnal_day", "--node", "7nm")
 
     def test_run_disk_cache_hits_across_invocations(self, capsys, tmp_path):
         argv = ("run", "table_5_2", "--cache-dir", str(tmp_path))

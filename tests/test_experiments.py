@@ -140,7 +140,7 @@ class TestServiceStudies:
             "service_cluster_sizing",
         }.issubset(set(EXPERIMENTS))
         for spec in CATALOG.by_kind("study"):
-            assert spec.chapter in (7, 9, 10)
+            assert spec.chapter in (7, 9, 10, 11)
 
     def test_latency_sweep_p99_monotone_and_diverging(self, small_suite):
         from repro.experiments import service

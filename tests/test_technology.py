@@ -26,8 +26,8 @@ class TestTechnologyNode:
         assert get_node("20nm") is NODE_20NM
 
     def test_unknown_node_raises(self):
-        with pytest.raises(KeyError):
-            get_node("7nm")
+        with pytest.raises(KeyError, match="available: 90nm, .*7nm"):
+            get_node("5nm")
 
     def test_baseline_constraints_match_paper(self):
         assert NODE_40NM.constraints.max_power_w == pytest.approx(95.0)
